@@ -1,0 +1,401 @@
+// Command dac tunes Spark-style configurations for the six HiBench
+// workloads on the simulated cluster, following the paper's pipeline:
+// collect → model → search.
+//
+// Subcommands:
+//
+//	dac collect -workload TS -n 2000 -out ts.csv
+//	    Run the collecting component and write the training set as CSV.
+//
+//	dac train -in ts.csv -out ts.model
+//	    Fit the HM performance model on a collected CSV and persist it.
+//
+//	dac search -model ts.model -workload TS -size 30 -out spark-dac.conf
+//	    Load a saved model and search a configuration for one target
+//	    datasize, optionally writing a Spark properties file.
+//
+//	dac tune -workload TS -size 30
+//	    Run the full pipeline in one shot and print the tuned
+//	    configuration, its predicted time, and the measured speedup over
+//	    the default and expert configurations.
+//
+//	dac compare -workload TS
+//	    Tune with DAC and RFHOC and print the four-way comparison across
+//	    the workload's five Table 1 sizes.
+//
+//	dac show -workload TS
+//	    Print the workload's description and Table 1 sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/expert"
+	"repro/internal/ga"
+	"repro/internal/hm"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "importance":
+		err = cmdImportance(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dac:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance> [flags]
+  dac collect -workload TS -n 2000 -out ts.csv
+  dac train   -in ts.csv -out ts.model          # fit HM on collected data
+  dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
+  dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1]
+  dac show    -workload TS
+  dac compare -workload TS [-ntrain 2000]
+  dac importance -in ts.csv [-top 10]`)
+}
+
+func lookupWorkload(abbr string) (*workloads.Workload, error) {
+	w, err := workloads.ByAbbr(strings.ToUpper(abbr))
+	if err != nil {
+		abbrs := make([]string, 0, 6)
+		for _, x := range workloads.All() {
+			abbrs = append(abbrs, x.Abbr)
+		}
+		return nil, fmt.Errorf("%v (choose one of %s)", err, strings.Join(abbrs, ", "))
+	}
+	return w, nil
+}
+
+func newTuner(w *workloads.Workload, ntrain int, seed int64) *core.Tuner {
+	sim := sparksim.New(cluster.Standard(), seed+7)
+	return &core.Tuner{
+		Space: conf.StandardSpace(),
+		Exec: core.ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
+			return sim.Run(&w.Program, dsizeMB, cfg).TotalSec
+		}),
+		Opt: core.Options{
+			NTrain: ntrain,
+			HM:     hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5},
+			GA:     ga.Options{PopSize: 100, Generations: 100},
+			Seed:   seed,
+		},
+	}
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	abbr := fs.String("workload", "TS", "workload abbreviation (PR, KM, BA, NW, WC, TS)")
+	n := fs.Int("n", 2000, "number of performance vectors")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	w, err := lookupWorkload(*abbr)
+	if err != nil {
+		return err
+	}
+	t := newTuner(w, *n, *seed)
+	sizes := t.TrainingSizesMB(w.InputMB(w.Sizes[0])*0.8, w.InputMB(w.Sizes[len(w.Sizes)-1])*1.1)
+	set, ov, err := t.Collect(sizes)
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := set.WriteCSV(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "collected %d vectors for %s (%.1f simulated cluster hours)\n",
+		set.Len(), w.Name, ov.CollectClusterHours)
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	abbr := fs.String("workload", "TS", "workload abbreviation")
+	size := fs.Float64("size", 0, "target datasize in the workload's units (default: middle Table 1 size)")
+	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	w, err := lookupWorkload(*abbr)
+	if err != nil {
+		return err
+	}
+	units := *size
+	if units == 0 {
+		units = w.Sizes[len(w.Sizes)/2]
+	}
+	targetMB := w.InputMB(units)
+	t := newTuner(w, *ntrain, *seed)
+	lo := w.InputMB(w.Sizes[0]) * 0.8
+	hi := w.InputMB(w.Sizes[len(w.Sizes)-1]) * 1.1
+	fmt.Printf("tuning %s for %g %s (%.0f MB)...\n", w.Name, units, w.Unit, targetMB)
+	res, err := t.Tune(lo, hi, []float64{targetMB})
+	if err != nil {
+		return err
+	}
+	best := res.Best[targetMB]
+
+	// Evaluate on a fresh simulator seed against the baselines.
+	evalSim := sparksim.New(cluster.Standard(), 99)
+	space := conf.StandardSpace()
+	tDAC := evalSim.Run(&w.Program, targetMB, best).TotalSec
+	tDef := evalSim.Run(&w.Program, targetMB, space.Default()).TotalSec
+	tExp := evalSim.Run(&w.Program, targetMB, expert.Config(space, cluster.Standard())).TotalSec
+
+	fmt.Printf("\ntuned configuration (spark-dac.conf):\n%s\n", best)
+	fmt.Printf("\npredicted: %.1fs   measured: %.1fs\n", res.PredictedSec[targetMB], tDAC)
+	fmt.Printf("default:   %.1fs   (speedup %.1fx)\n", tDef, tDef/tDAC)
+	fmt.Printf("expert:    %.1fs   (speedup %.1fx)\n", tExp, tExp/tDAC)
+	fmt.Printf("\noverhead: collecting %.1f simulated cluster hours, modeling %.1fs, searching %.1fs\n",
+		res.Overhead.CollectClusterHours, res.Overhead.ModelTrainSec, res.Overhead.SearchSec)
+	return nil
+}
+
+// cmdTrain fits an HM model on a previously collected CSV and saves it —
+// the collecting cost is paid once, the model is reused by `dac search`.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "", "training CSV from `dac collect` (required)")
+	out := fs.String("out", "dac.model", "model output path")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("train: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	set, err := dataset.ReadCSV(f, conf.StandardSpace())
+	if err != nil {
+		return err
+	}
+	m, err := hm.Train(set.ToDataset(), hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	if err := m.Save(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained on %d vectors (order %d, validation error %.1f%%); saved to %s\n",
+		set.Len(), m.Order, m.ValErr*100, *out)
+	return nil
+}
+
+// cmdImportance trains an HM model on a collected CSV and ranks the
+// features by split gain — which knobs (and the dsize column) carry the
+// predictive power.
+func cmdImportance(args []string) error {
+	fs := flag.NewFlagSet("importance", flag.ExitOnError)
+	in := fs.String("in", "", "training CSV from `dac collect` (required)")
+	top := fs.Int("top", 10, "features to show")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("importance: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	set, err := dataset.ReadCSV(f, conf.StandardSpace())
+	if err != nil {
+		return err
+	}
+	ds := set.ToDataset()
+	m, err := hm.Train(ds, hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	type row struct {
+		name  string
+		share float64
+	}
+	imp := m.FeatureImportance()
+	rows := make([]row, len(imp))
+	for i, v := range imp {
+		rows[i] = row{ds.Names[i], v}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].share > rows[j].share })
+	if *top > 0 && *top < len(rows) {
+		rows = rows[:*top]
+	}
+	for i, r := range rows {
+		fmt.Printf("%2d. %-45s %5.1f%%\n", i+1, r.name, r.share*100)
+	}
+	return nil
+}
+
+// cmdSearch loads a saved model and runs the GA for one target size —
+// milliseconds of work against a model that took hours of cluster time to
+// earn.
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model from `dac train` (required)")
+	abbr := fs.String("workload", "TS", "workload abbreviation (for datasize units)")
+	size := fs.Float64("size", 0, "target datasize in workload units")
+	out := fs.String("out", "", "write the configuration as a properties file")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("search: -model is required")
+	}
+	w, err := lookupWorkload(*abbr)
+	if err != nil {
+		return err
+	}
+	units := *size
+	if units == 0 {
+		units = w.Sizes[len(w.Sizes)/2]
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	m, err := hm.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	t := newTuner(w, 1, *seed) // executor unused by Search
+	cfg, pred, gaRes, _, err := t.Search(m, w.InputMB(units), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted %.1fs after %d GA evaluations (converged at iteration %d)\n",
+		pred, gaRes.Evaluations, gaRes.Converged)
+	if *out != "" {
+		dst, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer dst.Close()
+		if err := cfg.WriteProperties(dst); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		return nil
+	}
+	fmt.Println(cfg)
+	return nil
+}
+
+// cmdCompare tunes with both DAC and RFHOC and prints the four-way
+// comparison (default / expert / RFHOC / DAC) across the workload's five
+// Table 1 sizes — one workload's slice of the paper's Fig. 12.
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	abbr := fs.String("workload", "TS", "workload abbreviation")
+	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	w, err := lookupWorkload(*abbr)
+	if err != nil {
+		return err
+	}
+	t := newTuner(w, *ntrain, *seed)
+	targets := w.SizesMB()
+	lo, hi := targets[0]*0.8, targets[len(targets)-1]*1.1
+
+	fmt.Printf("tuning %s (DAC per size + RFHOC)...\n", w.Name)
+	res, err := t.Tune(lo, hi, targets)
+	if err != nil {
+		return err
+	}
+	rfhoc := &core.RFHOCTuner{Space: t.Space, Exec: t.Exec, Opt: t.Opt}
+	rfhocCfg, err := rfhoc.Tune(lo, hi)
+	if err != nil {
+		return err
+	}
+
+	evalSim := sparksim.New(cluster.Standard(), 99)
+	space := conf.StandardSpace()
+	expCfg := expert.Config(space, cluster.Standard())
+	defCfg := space.Default()
+	fmt.Printf("\n%-4s %12s %12s %12s %12s\n", "size", "default(s)", "expert(s)", "RFHOC(s)", "DAC(s)")
+	for i, mb := range targets {
+		fmt.Printf("D%-3d %12.1f %12.1f %12.1f %12.1f\n", i+1,
+			evalSim.Run(&w.Program, mb, defCfg).TotalSec,
+			evalSim.Run(&w.Program, mb, expCfg).TotalSec,
+			evalSim.Run(&w.Program, mb, rfhocCfg).TotalSec,
+			evalSim.Run(&w.Program, mb, res.Best[mb]).TotalSec)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	abbr := fs.String("workload", "", "workload abbreviation (empty = all)")
+	fs.Parse(args)
+
+	show := func(w *workloads.Workload) {
+		fmt.Printf("%s (%s): input unit %s, Table 1 sizes %v\n", w.Name, w.Abbr, w.Unit, w.Sizes)
+		for _, st := range w.Program.Stages {
+			times := st.Times()
+			fmt.Printf("  stage %-16s x%d  cpu=%.3fs/MB shuffleOut=%.2f memx=%.1f\n",
+				st.Name, times, st.CPUSecPerMB, st.ShuffleFrac, st.MemExpansion)
+		}
+	}
+	if *abbr == "" {
+		for _, w := range workloads.All() {
+			show(w)
+		}
+		return nil
+	}
+	w, err := lookupWorkload(*abbr)
+	if err != nil {
+		return err
+	}
+	show(w)
+	return nil
+}

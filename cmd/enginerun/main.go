@@ -1,0 +1,161 @@
+// Command enginerun executes real workloads on the mini dataflow engine
+// over actual files — the repository's "run it for real" counterpart to
+// the simulator-backed tools.
+//
+// Usage:
+//
+//	enginerun wordcount -in big.txt -out counts/ [-parallelism 8] [-compress]
+//	enginerun terasort  -in records.dat -out sorted/ [-memory 64]
+//	enginerun gen       -kind text -size 64 -out big.txt
+//
+// The gen subcommand synthesizes inputs with the workload generators
+// (-kind text|tera, -size in MB for text or thousands of records for
+// tera).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "wordcount":
+		err = cmdWordCount(os.Args[2:])
+	case "terasort":
+		err = cmdTeraSort(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginerun:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: enginerun <wordcount|terasort|gen> [flags]
+  enginerun gen       -kind text -size 64 -out big.txt
+  enginerun wordcount -in big.txt -out counts/ [-parallelism 8] [-compress]
+  enginerun terasort  -in records.dat -out sorted/ [-memory 64]`)
+}
+
+func engineFlags(fs *flag.FlagSet) (*int, *bool, *int) {
+	par := fs.Int("parallelism", 8, "shuffle partitions")
+	comp := fs.Bool("compress", false, "flate-compress shuffle blocks")
+	mem := fs.Int("memory", 0, "shuffle memory budget in MB (0 = unbounded)")
+	return par, comp, mem
+}
+
+func report(ctx *engine.Context, start time.Time) {
+	m := ctx.Metrics()
+	fmt.Fprintf(os.Stderr, "done in %v: %d tasks, %.1f MB shuffled, %.1f MB spilled (%d files)\n",
+		time.Since(start).Round(time.Millisecond), m.TasksRun,
+		float64(m.ShuffleBytesWritten)/(1<<20), float64(m.SpillBytes)/(1<<20), m.SpillFiles)
+}
+
+func cmdWordCount(args []string) error {
+	fs := flag.NewFlagSet("wordcount", flag.ExitOnError)
+	in := fs.String("in", "", "input text file (required)")
+	out := fs.String("out", "", "output directory (required)")
+	par, comp, mem := engineFlags(fs)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("wordcount: -in and -out are required")
+	}
+	ctx := engine.NewContext(engine.Config{Parallelism: *par, CompressShuffle: *comp, ShuffleMemoryMB: *mem})
+	start := time.Now()
+	lines, err := engine.TextFile(ctx, *in, 32)
+	if err != nil {
+		return err
+	}
+	words := engine.FlatMap(lines, strings.Fields)
+	counts, err := engine.ReduceByKey(
+		engine.MapToPairs(words, func(w string) (string, int) { return w, 1 }),
+		func(a, b int) int { return a + b })
+	if err != nil {
+		return err
+	}
+	rendered := engine.Map(counts, func(kv engine.Pair[string, int]) string {
+		return fmt.Sprintf("%s\t%d", kv.Key, kv.Value)
+	})
+	if err := engine.SaveAsTextFile(rendered, *out); err != nil {
+		return err
+	}
+	report(ctx, start)
+	return nil
+}
+
+func cmdTeraSort(args []string) error {
+	fs := flag.NewFlagSet("terasort", flag.ExitOnError)
+	in := fs.String("in", "", "input record file (required)")
+	out := fs.String("out", "", "output directory (required)")
+	par, comp, mem := engineFlags(fs)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("terasort: -in and -out are required")
+	}
+	ctx := engine.NewContext(engine.Config{Parallelism: *par, CompressShuffle: *comp, ShuffleMemoryMB: *mem})
+	start := time.Now()
+	lines, err := engine.TextFile(ctx, *in, 32)
+	if err != nil {
+		return err
+	}
+	records := engine.Filter(lines, func(r string) bool { return len(r) >= 10 })
+	pairs := engine.MapToPairs(records, func(r string) (string, string) { return r[:10], r[10:] })
+	sorted, err := engine.SortByKey(pairs, func(a, b string) bool { return a < b })
+	if err != nil {
+		return err
+	}
+	rendered := engine.Map(sorted, func(kv engine.Pair[string, string]) string { return kv.Key + kv.Value })
+	if err := engine.SaveAsTextFile(rendered, *out); err != nil {
+		return err
+	}
+	report(ctx, start)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "text", "text or tera")
+	size := fs.Int64("size", 16, "MB of text, or thousands of tera records")
+	out := fs.String("out", "", "output path (required)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var n int64
+	switch *kind {
+	case "text":
+		n, err = workloads.GenText(f, *size<<20, *seed)
+	case "tera":
+		n, err = workloads.GenTeraRecords(f, int(*size)*1000, *seed)
+	default:
+		return fmt.Errorf("gen: unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %.1f MB to %s\n", float64(n)/(1<<20), *out)
+	return nil
+}

@@ -1,0 +1,178 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments -all            # everything, paper-scale settings
+//	experiments -quick -all     # everything, reduced scale
+//	experiments -fig 12a        # one figure (2, 3, 7, 8, 9, 10, 11, 12a, 12b, 13, 14)
+//	experiments -fig ext        # the §2.1 KV-store generality extension
+//	experiments -table 2        # one table (1, 2, 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate: 2,3,7,8,9,10,11,12a,12b,13,14")
+		table = flag.String("table", "", "table to regenerate: 1,2,3")
+		all   = flag.Bool("all", false, "regenerate everything")
+		quick = flag.Bool("quick", false, "reduced-scale settings (fast smoke run)")
+	)
+	flag.Parse()
+
+	sc := experiments.FullScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	if !*all && *fig == "" && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func()) {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		f()
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	wantFig := func(n string) bool { return *all || strings.EqualFold(*fig, n) }
+	wantTable := func(n string) bool { return *all || *table == n }
+
+	if wantTable("1") {
+		run("Table 1: experimented applications", func() { fmt.Print(experiments.Table1()) })
+	}
+	if wantTable("2") {
+		run("Table 2: 41 Spark configuration parameters", func() { fmt.Print(experiments.Table2()) })
+	}
+	if wantFig("2") {
+		run("Fig 2: datasize sensitivity, Spark vs Hadoop", func() {
+			fmt.Print(experiments.RenderFig2(experiments.Fig2(sc)))
+		})
+	}
+	if wantFig("3") {
+		run("Fig 3: prediction error of RS/ANN/SVM/RF", func() {
+			rows := experiments.Fig3(sc)
+			fmt.Print(experiments.RenderModelErrs(rows, []string{"RS", "ANN", "SVM", "RF"}))
+		})
+	}
+	if wantFig("7") {
+		run("Fig 7: model error vs training-set size", func() {
+			steps := []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000, 2400, 2800, 3200}
+			if *quick {
+				steps = []int{100, 200, 300, 400}
+			}
+			fmt.Print(experiments.RenderFig7(experiments.Fig7(sc, steps)))
+		})
+	}
+	if wantFig("8") {
+		run("Fig 8: HM error vs nt, lr, tc (PageRank)", func() {
+			var cps []int
+			if *quick {
+				cps = []int{50, 200, 400}
+			}
+			fmt.Print(experiments.RenderFig8(experiments.Fig8(sc, nil, nil, cps)))
+		})
+	}
+	if wantFig("9") {
+		run("Fig 9: prediction error incl. HM", func() {
+			rows := experiments.Fig9(sc)
+			fmt.Print(experiments.RenderModelErrs(rows, []string{"RS", "ANN", "SVM", "RF", "HM"}))
+		})
+	}
+	if wantFig("10") {
+		run("Fig 10: error distribution, PR & TS", func() {
+			n := 200
+			if *quick {
+				n = 60
+			}
+			pr, ts := experiments.Fig10(sc, n)
+			fmt.Print(experiments.RenderFig10("PR", pr))
+			fmt.Print(experiments.RenderFig10("TS", ts))
+		})
+	}
+
+	needTuning := *all
+	for _, n := range []string{"11", "12a", "12b", "13", "14"} {
+		if strings.EqualFold(*fig, n) {
+			needTuning = true
+		}
+	}
+	if *table == "3" {
+		needTuning = true
+	}
+	if needTuning {
+		var outcomes []experiments.TuneOutcome
+		run("Tuning pipeline (DAC + RFHOC + expert, all 6 programs)", func() {
+			outcomes = experiments.TuneAll(sc)
+		})
+		if wantFig("11") {
+			run("Fig 11: GA convergence", func() { fmt.Print(experiments.RenderFig11(outcomes)) })
+		}
+		if wantFig("12a") {
+			run("Fig 12a: speedup over default", func() { fmt.Print(experiments.RenderFig12a(outcomes)) })
+		}
+		if wantFig("12b") {
+			run("Fig 12b: DAC vs RFHOC vs expert", func() { fmt.Print(experiments.RenderFig12b(outcomes)) })
+		}
+		if wantFig("13") {
+			run("Fig 13: KMeans stage breakdown", func() {
+				idx := []int{0, 2, 4}
+				fmt.Print(experiments.RenderFig13(experiments.Fig13(sc, outcomes, idx), idx))
+			})
+		}
+		if wantFig("14") {
+			run("Fig 14: TeraSort Stage2", func() {
+				fmt.Print(experiments.RenderFig14(experiments.Fig14(sc, outcomes)))
+			})
+		}
+		if wantTable("3") {
+			run("Table 3: time cost", func() { fmt.Print(experiments.RenderTable3(outcomes)) })
+		}
+	}
+
+	if *all || strings.EqualFold(*fig, "ext") {
+		run("Extension (§2.1): tuning the HBase-style KV store", func() {
+			fmt.Print(experiments.RenderExtension(experiments.Extension(sc)))
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "validate") {
+		run("Validation: engine-measured vs simulator-predicted knob directions", func() {
+			fmt.Print(experiments.RenderValidate(experiments.Validate(sc)))
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "importance") {
+		run("Analysis: parameter importance (HM split gains)", func() {
+			for _, abbr := range []string{"KM", "TS"} {
+				fmt.Print(experiments.RenderImportance(abbr, experiments.Importance(sc, abbr, 10)))
+			}
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "subspace") {
+		run("Analysis: tuning-space size (all vs top-k vs bottom-k)", func() {
+			fmt.Print(experiments.RenderSubspace("TS", experiments.Subspace(sc, "TS", 8)))
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "naive") {
+		run("Analysis: naive best-of-N search cost (§1's infeasibility claim)", func() {
+			budgets := []int{50, 200, 1000, 2000}
+			if *quick {
+				budgets = []int{20, 100}
+			}
+			fmt.Print(experiments.RenderNaive("TS", experiments.Naive(sc, "TS", budgets)))
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// What-if exploration: use the simulator directly to sweep one parameter
+// at a time and watch the mechanisms the paper attributes Spark's
+// configuration cliffs to — spills and GC as executor memory shrinks, and
+// the serializer's effect on a shuffle-heavy job.
+//
+// Run with:
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dac "repro"
+)
+
+func main() {
+	cl := dac.StandardCluster()
+	sim := dac.NewSimulator(cl, 7)
+	space := dac.StandardSpace()
+
+	// Sweep executor memory for WordCount at 120 GB: the spill + GC wall.
+	wc, err := dac.WorkloadByAbbr("WC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb := wc.InputMB(120)
+	fmt.Println("WordCount, 120 GB — executor memory sweep (spark.executor.cores=6):")
+	fmt.Printf("%10s %10s %10s %10s %10s\n", "mem MB", "time s", "GC s", "spill GB", "failures")
+	for _, mem := range []float64{1024, 2048, 4096, 6144, 8192, 10240, 12288} {
+		cfg := space.Default()
+		cfg.Set("spark.executor.memory", mem)
+		cfg.Set("spark.executor.cores", 6)
+		res := sim.Run(&wc.Program, mb, cfg)
+		fmt.Printf("%10.0f %10.1f %10.1f %10.1f %10d\n",
+			mem, res.TotalSec, res.GCSec, res.SpillMB/1024, res.TasksFailed)
+	}
+
+	// Serializer × shuffle compression for TeraSort at 40 GB.
+	ts, err := dac.WorkloadByAbbr("TS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb = ts.InputMB(40)
+	fmt.Println("\nTeraSort, 40 GB — serializer and shuffle compression:")
+	fmt.Printf("%8s %10s %10s\n", "ser", "compress", "time s")
+	for _, ser := range []string{"java", "kryo"} {
+		for _, comp := range []bool{true, false} {
+			cfg := space.Default()
+			cfg.Set("spark.executor.memory", 8192)
+			cfg.Set("spark.default.parallelism", 50)
+			if ser == "kryo" {
+				cfg.Set("spark.serializer", 1)
+			}
+			cfg.SetBool("spark.shuffle.compress", comp)
+			res := sim.Run(&ts.Program, mb, cfg)
+			fmt.Printf("%8s %10v %10.1f\n", ser, comp, res.TotalSec)
+		}
+	}
+
+	// Parallelism sweep for PageRank: wave quantization and per-task
+	// memory pressure pull in opposite directions.
+	pr, err := dac.WorkloadByAbbr("PR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb = pr.InputMB(1.6)
+	fmt.Println("\nPageRank, 1.6M pages — spark.default.parallelism sweep (8 GB executors):")
+	fmt.Printf("%6s %10s %10s\n", "par", "time s", "spill GB")
+	for _, par := range []float64{8, 16, 24, 32, 40, 50} {
+		cfg := space.Default()
+		cfg.Set("spark.executor.memory", 8192)
+		cfg.Set("spark.default.parallelism", par)
+		res := sim.Run(&pr.Program, mb, cfg)
+		fmt.Printf("%6.0f %10.1f %10.1f\n", par, res.TotalSec, res.SpillMB/1024)
+	}
+}

@@ -1,0 +1,30 @@
+package ann
+
+import "testing"
+
+// BenchmarkTrain measures fitting the MLP baseline at a reduced epoch
+// budget (full training is benchmarked via the figure harness).
+func BenchmarkTrain(b *testing.B) {
+	ds := synthDS(800, 1)
+	opt := Options{Hidden: []int{16}, Epochs: 50, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures one forward pass.
+func BenchmarkPredict(b *testing.B) {
+	ds := synthDS(400, 2)
+	m, err := Train(ds, Options{Hidden: []int{16}, Epochs: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ds.Features[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

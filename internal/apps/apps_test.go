@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+func ctx() *engine.Context {
+	return engine.NewContext(engine.Config{Parallelism: 4, Workers: 4})
+}
+
+func TestWordCountOnGeneratedText(t *testing.T) {
+	var buf strings.Builder
+	if _, err := workloads.GenText(&buf, 1<<20, 1); err != nil {
+		t.Fatal(err)
+	}
+	words := strings.Fields(buf.String())
+	got, err := WordCount(ctx(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]int{}
+	for _, w := range words {
+		ref[w]++
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("%d distinct words, want %d", len(got), len(ref))
+	}
+	for w, n := range ref {
+		if got[w] != n {
+			t.Fatalf("%q: %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+func TestTeraSortOnGeneratedRecords(t *testing.T) {
+	var buf strings.Builder
+	if _, err := workloads.GenTeraRecords(&buf, 5000, 2); err != nil {
+		t.Fatal(err)
+	}
+	records := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	sorted, err := TeraSort(ctx(), records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != len(records) {
+		t.Fatalf("lost records: %d != %d", len(sorted), len(records))
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i][:10] < sorted[i-1][:10] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	// Same multiset.
+	ref := append([]string(nil), records...)
+	sort.Strings(ref)
+	got := append([]string(nil), sorted...)
+	sort.Strings(got)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatal("sort changed record contents")
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TeraSort(ctx(), []string{"short"}); err == nil {
+		t.Error("short records should be rejected")
+	}
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	var points [][]float64
+	for i := 0; i < 1500; i++ {
+		c := truth[i%3]
+		points = append(points, []float64{
+			c[0] + rng.NormFloat64(),
+			c[1] + rng.NormFloat64(),
+		})
+	}
+	centroids, err := KMeans(ctx(), points, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true center must have a recovered centroid within 0.5.
+	for _, tc := range truth {
+		best := math.Inf(1)
+		for _, c := range centroids {
+			d := math.Hypot(c[0]-tc[0], c[1]-tc[1])
+			best = math.Min(best, d)
+		}
+		if best > 0.5 {
+			t.Fatalf("no centroid near %v (closest %.2f): %v", tc, best, centroids)
+		}
+	}
+	if _, err := KMeans(ctx(), points[:2], 3, 1); err == nil {
+		t.Error("k > n should be rejected")
+	}
+}
+
+// refPageRank is a sequential power iteration for comparison.
+func refPageRank(edges []Edge, iterations int) map[string]float64 {
+	const damping = 0.85
+	out := map[string][]string{}
+	verts := map[string]bool{}
+	for _, e := range edges {
+		out[e.Src] = append(out[e.Src], e.Dst)
+		verts[e.Src], verts[e.Dst] = true, true
+	}
+	ranks := map[string]float64{}
+	for v := range verts {
+		ranks[v] = 1
+	}
+	for it := 0; it < iterations; it++ {
+		contrib := map[string]float64{}
+		for src, dsts := range out {
+			share := ranks[src] / float64(len(dsts))
+			for _, d := range dsts {
+				contrib[d] += share
+			}
+		}
+		next := map[string]float64{}
+		for v := range verts {
+			next[v] = (1 - damping) + damping*contrib[v]
+		}
+		ranks = next
+	}
+	return ranks
+}
+
+func TestPageRankMatchesPowerIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var edges []Edge
+	for i := 0; i < 400; i++ {
+		edges = append(edges, Edge{
+			Src: fmt.Sprintf("p%d", rng.Intn(60)),
+			Dst: fmt.Sprintf("p%d", rng.Intn(60)),
+		})
+	}
+	got, err := PageRank(ctx(), edges, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refPageRank(edges, 8)
+	if len(got) != len(want) {
+		t.Fatalf("%d vertices, want %d", len(got), len(want))
+	}
+	for v, r := range want {
+		if math.Abs(got[v]-r) > 1e-9 {
+			t.Fatalf("%s: %v, want %v", v, got[v], r)
+		}
+	}
+	if _, err := PageRank(ctx(), nil, 1); err == nil {
+		t.Error("empty graph should be rejected")
+	}
+}
+
+func TestBayesClassifiesObviousDocs(t *testing.T) {
+	var docs []Document
+	rng := rand.New(rand.NewSource(5))
+	sports := []string{"goal", "team", "score", "match", "win"}
+	tech := []string{"cpu", "code", "build", "deploy", "bug"}
+	for i := 0; i < 300; i++ {
+		mk := func(vocab []string) []string {
+			ws := make([]string, 8)
+			for j := range ws {
+				ws[j] = vocab[rng.Intn(len(vocab))]
+			}
+			return ws
+		}
+		docs = append(docs,
+			Document{Label: "sports", Words: mk(sports)},
+			Document{Label: "tech", Words: mk(tech)})
+	}
+	m, err := TrainBayes(ctx(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Classify([]string{"goal", "match", "win"}); got != "sports" {
+		t.Errorf("classified as %q", got)
+	}
+	if got := m.Classify([]string{"cpu", "bug", "deploy"}); got != "tech" {
+		t.Errorf("classified as %q", got)
+	}
+	// Unseen words should not crash and priors decide.
+	if got := m.Classify([]string{"zzzz"}); got == "" {
+		t.Error("empty classification")
+	}
+	if _, err := TrainBayes(ctx(), nil); err == nil {
+		t.Error("empty training set should be rejected")
+	}
+}
+
+// refNWeight brute-forces n-hop path weights.
+func refNWeight(edges []WeightedEdge, hops int) map[VertexPair]float64 {
+	adj := map[string][]WeightedEdge{}
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e)
+	}
+	// paths[v][origin] = total weight of hop-h paths origin->v
+	cur := map[string]map[string]float64{}
+	for _, e := range edges {
+		if cur[e.Dst] == nil {
+			cur[e.Dst] = map[string]float64{}
+		}
+		cur[e.Dst][e.Src] += e.Weight
+	}
+	for h := 1; h < hops; h++ {
+		next := map[string]map[string]float64{}
+		for v, origins := range cur {
+			for _, e := range adj[v] {
+				if next[e.Dst] == nil {
+					next[e.Dst] = map[string]float64{}
+				}
+				for o, w := range origins {
+					next[e.Dst][o] += w * e.Weight
+				}
+			}
+		}
+		cur = next
+	}
+	out := map[VertexPair]float64{}
+	for v, origins := range cur {
+		for o, w := range origins {
+			out[VertexPair{o, v}] = w
+		}
+	}
+	return out
+}
+
+func TestNWeightMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var edges []WeightedEdge
+	for i := 0; i < 80; i++ {
+		edges = append(edges, WeightedEdge{
+			Src:    fmt.Sprintf("v%d", rng.Intn(15)),
+			Dst:    fmt.Sprintf("v%d", rng.Intn(15)),
+			Weight: 0.1 + rng.Float64(),
+		})
+	}
+	for _, hops := range []int{1, 2, 3} {
+		got, err := NWeight(ctx(), edges, hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refNWeight(edges, hops)
+		if len(got) != len(want) {
+			t.Fatalf("hops=%d: %d pairs, want %d", hops, len(got), len(want))
+		}
+		for pair, w := range want {
+			if math.Abs(got[pair]-w) > 1e-9*math.Max(1, math.Abs(w)) {
+				t.Fatalf("hops=%d %v: %v, want %v", hops, pair, got[pair], w)
+			}
+		}
+	}
+	if _, err := NWeight(ctx(), nil, 2); err == nil {
+		t.Error("empty graph should be rejected")
+	}
+	if _, err := NWeight(ctx(), []WeightedEdge{{"a", "b", 1}}, 0); err == nil {
+		t.Error("zero hops should be rejected")
+	}
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+)
+
+// Document is one labelled training document for Naive Bayes.
+type Document struct {
+	Label string
+	Words []string
+}
+
+// BayesModel is a trained multinomial Naive Bayes classifier.
+type BayesModel struct {
+	// LogPrior maps label -> log P(label).
+	LogPrior map[string]float64
+	// LogLikelihood maps label -> word -> log P(word|label) with
+	// Laplace smoothing.
+	LogLikelihood map[string]map[string]float64
+	// Vocabulary size used for smoothing.
+	VocabSize int
+	// totalWords per label, for scoring unseen words.
+	labelWords map[string]int
+}
+
+// TrainBayes fits the classifier on the engine (the BA workload): the
+// tokenize stage scatters (label, word) pairs through the shuffle, the
+// aggregate stage counts them, and the model is collected to the driver —
+// the paper's BA stage structure including its driver-side model collect.
+func TrainBayes(ctx *engine.Context, docs []Document) (*BayesModel, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("apps: no training documents")
+	}
+	ds := engine.Parallelize(ctx, docs)
+
+	// Label priors.
+	labelCounts, err := engine.CountByKey(engine.MapToPairs(ds,
+		func(d Document) (string, struct{}) { return d.Label, struct{}{} }))
+	if err != nil {
+		return nil, err
+	}
+
+	// (label, word) counts — the tokenize + aggregate stages.
+	type lw struct{ Label, Word string }
+	pairs := engine.FlatMap(ds, func(d Document) []engine.Pair[lw, int] {
+		out := make([]engine.Pair[lw, int], len(d.Words))
+		for i, w := range d.Words {
+			out[i] = engine.Pair[lw, int]{Key: lw{d.Label, w}, Value: 1}
+		}
+		return out
+	})
+	wordCounts, err := engine.ReduceByKey(pairs, func(a, b int) int { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	rows, err := wordCounts.Collect() // the model comes back to the driver
+	if err != nil {
+		return nil, err
+	}
+
+	vocab := map[string]struct{}{}
+	perLabelWord := map[string]map[string]int{}
+	labelWords := map[string]int{}
+	for _, kv := range rows {
+		vocab[kv.Key.Word] = struct{}{}
+		m := perLabelWord[kv.Key.Label]
+		if m == nil {
+			m = map[string]int{}
+			perLabelWord[kv.Key.Label] = m
+		}
+		m[kv.Key.Word] = kv.Value
+		labelWords[kv.Key.Label] += kv.Value
+	}
+
+	model := &BayesModel{
+		LogPrior:      make(map[string]float64, len(labelCounts)),
+		LogLikelihood: make(map[string]map[string]float64, len(labelCounts)),
+		VocabSize:     len(vocab),
+		labelWords:    labelWords,
+	}
+	total := float64(len(docs))
+	for label, n := range labelCounts {
+		model.LogPrior[label] = math.Log(float64(n) / total)
+		ll := make(map[string]float64, len(perLabelWord[label]))
+		denom := float64(labelWords[label] + model.VocabSize)
+		for w, c := range perLabelWord[label] {
+			ll[w] = math.Log(float64(c+1) / denom)
+		}
+		model.LogLikelihood[label] = ll
+	}
+	return model, nil
+}
+
+// Classify returns the most probable label for the words.
+func (m *BayesModel) Classify(words []string) string {
+	bestLabel, bestScore := "", math.Inf(-1)
+	for label, prior := range m.LogPrior {
+		score := prior
+		ll := m.LogLikelihood[label]
+		unseen := math.Log(1 / float64(m.labelWords[label]+m.VocabSize))
+		for _, w := range words {
+			if v, ok := ll[w]; ok {
+				score += v
+			} else {
+				score += unseen
+			}
+		}
+		if score > bestScore {
+			bestLabel, bestScore = label, score
+		}
+	}
+	return bestLabel
+}

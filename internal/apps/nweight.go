@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// WeightedEdge is a directed weighted edge for NWeight.
+type WeightedEdge struct {
+	Src, Dst string
+	Weight   float64
+}
+
+// VertexPair identifies a (source, destination) association.
+type VertexPair struct {
+	Src, Dst string
+}
+
+// NWeight computes n-hop association weights (the NW workload): the
+// weight between u and v at hop n is the sum over all n-step paths of the
+// product of edge weights. The adjacency list stays cached in memory while
+// every hop joins the frontier against it — the paper's characterization
+// of NWeight as a memory-hungry iterative graph job.
+func NWeight(ctx *engine.Context, edges []WeightedEdge, hops int) (map[VertexPair]float64, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("apps: empty edge list")
+	}
+	if hops < 1 {
+		return nil, fmt.Errorf("apps: hops must be >= 1, got %d", hops)
+	}
+
+	type hop struct {
+		Dst    string
+		Weight float64
+	}
+	adjPairs := engine.MapToPairs(engine.Parallelize(ctx, edges),
+		func(e WeightedEdge) (string, hop) { return e.Src, hop{e.Dst, e.Weight} })
+	adj, err := engine.GroupByKey(adjPairs)
+	if err != nil {
+		return nil, err
+	}
+	if adj, err = adj.Cache(); err != nil {
+		return nil, err
+	}
+
+	// The frontier holds (currentVertex, (origin, pathWeight)).
+	type walk struct {
+		Origin string
+		Weight float64
+	}
+	frontier := engine.MapToPairs(engine.Parallelize(ctx, edges),
+		func(e WeightedEdge) (string, walk) { return e.Dst, walk{e.Src, e.Weight} })
+
+	for h := 1; h < hops; h++ {
+		joined, err := engine.Join(frontier, adj)
+		if err != nil {
+			return nil, err
+		}
+		extended := engine.FlatMap(joined,
+			func(kv engine.Pair[string, engine.Joined[walk, []hop]]) []engine.Pair[string, walk] {
+				out := make([]engine.Pair[string, walk], 0, len(kv.Value.Right))
+				for _, nxt := range kv.Value.Right {
+					out = append(out, engine.Pair[string, walk]{
+						Key:   nxt.Dst,
+						Value: walk{kv.Value.Left.Origin, kv.Value.Left.Weight * nxt.Weight},
+					})
+				}
+				return out
+			})
+		// Combine parallel paths reaching the same vertex from the same
+		// origin.
+		byPair := engine.MapToPairs(extended,
+			func(kv engine.Pair[string, walk]) (VertexPair, float64) {
+				return VertexPair{kv.Value.Origin, kv.Key}, kv.Value.Weight
+			})
+		summed, err := engine.ReduceByKey(byPair, func(a, b float64) float64 { return a + b })
+		if err != nil {
+			return nil, err
+		}
+		frontier = engine.Map(summed,
+			func(kv engine.Pair[VertexPair, float64]) engine.Pair[string, walk] {
+				return engine.Pair[string, walk]{Key: kv.Key.Dst, Value: walk{kv.Key.Src, kv.Value}}
+			})
+	}
+
+	final := engine.MapToPairs(frontier,
+		func(kv engine.Pair[string, walk]) (VertexPair, float64) {
+			return VertexPair{kv.Value.Origin, kv.Key}, kv.Value.Weight
+		})
+	summed, err := engine.ReduceByKey(final, func(a, b float64) float64 { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	rows, err := summed.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[VertexPair]float64, len(rows))
+	for _, kv := range rows {
+		out[kv.Key] = kv.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+// Package cluster models the hardware DAC tunes for: a small dedicated
+// cluster of identical worker nodes plus one master running the driver.
+// The defaults mirror the paper's testbed (§4): six DELL servers — one
+// master, five slaves — each with 12 six-core Xeon E5-2609 processors
+// (432 cores total) and 64 GB of memory.
+package cluster
+
+// Cluster describes the machines available to the in-memory computing
+// framework. All sizes are in MB, bandwidths in MB/s, and clock rates in
+// GHz; the simulator works in these units throughout.
+type Cluster struct {
+	// Workers is the number of slave nodes that run executors.
+	Workers int
+	// CoresPerNode is the number of CPU cores on each worker.
+	CoresPerNode int
+	// MemoryPerNodeMB is the physical memory of each worker, in MB.
+	MemoryPerNodeMB float64
+	// CPUGHz is the nominal core clock; task compute costs scale
+	// inversely with it.
+	CPUGHz float64
+	// DiskReadMBps and DiskWriteMBps are sequential disk bandwidths per
+	// node, shared by the tasks running on that node.
+	DiskReadMBps  float64
+	DiskWriteMBps float64
+	// NetMBps is the network bandwidth per node (full-duplex assumed).
+	NetMBps float64
+	// DiskSeekMs is the latency charged per distinct file or fetch round.
+	DiskSeekMs float64
+	// NetLatencyMs is the one-way network latency between nodes.
+	NetLatencyMs float64
+	// MasterMemoryMB bounds spark.driver.memory; the driver runs on the
+	// master node.
+	MasterMemoryMB float64
+	// MasterCores bounds spark.driver.cores.
+	MasterCores int
+}
+
+// Standard returns the paper's experimental platform: 5 worker nodes of
+// 72 cores / 64 GB each (plus a master), 1.9 GHz cores, 7200-rpm local
+// disks and gigabit Ethernet.
+func Standard() Cluster {
+	return Cluster{
+		Workers:         5,
+		CoresPerNode:    72,
+		MemoryPerNodeMB: 64 * 1024,
+		CPUGHz:          1.9,
+		DiskReadMBps:    150,
+		DiskWriteMBps:   120,
+		NetMBps:         110,
+		DiskSeekMs:      6,
+		NetLatencyMs:    0.3,
+		MasterMemoryMB:  64 * 1024,
+		MasterCores:     72,
+	}
+}
+
+// TotalCores returns the number of worker cores in the cluster.
+func (c Cluster) TotalCores() int { return c.Workers * c.CoresPerNode }
+
+// TotalMemoryMB returns the aggregate worker memory.
+func (c Cluster) TotalMemoryMB() float64 {
+	return float64(c.Workers) * c.MemoryPerNodeMB
+}
+
+// Valid reports whether the cluster description is usable by a simulator.
+func (c Cluster) Valid() bool {
+	return c.Workers > 0 && c.CoresPerNode > 0 && c.MemoryPerNodeMB > 0 &&
+		c.CPUGHz > 0 && c.DiskReadMBps > 0 && c.DiskWriteMBps > 0 && c.NetMBps > 0
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import "testing"
+
+func TestStandardMatchesPaperTestbed(t *testing.T) {
+	c := Standard()
+	if !c.Valid() {
+		t.Fatal("standard cluster invalid")
+	}
+	// §4: 432 cores and 384 GB across the cluster; 5 slaves + 1 master.
+	if got := c.TotalCores() + c.MasterCores; got != 432 {
+		t.Errorf("total cores incl. master = %d, want 432", got)
+	}
+	if got := c.TotalMemoryMB() + c.MasterMemoryMB; got != 384*1024 {
+		t.Errorf("total memory incl. master = %v MB, want %v", got, 384*1024)
+	}
+	if c.Workers != 5 {
+		t.Errorf("workers = %d, want 5 slaves", c.Workers)
+	}
+	if c.CPUGHz != 1.9 {
+		t.Errorf("clock = %v, want 1.9 GHz", c.CPUGHz)
+	}
+}
+
+func TestValidRejectsZeroFields(t *testing.T) {
+	c := Standard()
+	c.Workers = 0
+	if c.Valid() {
+		t.Error("zero workers should be invalid")
+	}
+	c = Standard()
+	c.NetMBps = 0
+	if c.Valid() {
+		t.Error("zero network bandwidth should be invalid")
+	}
+}

@@ -1,0 +1,38 @@
+package conf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRandomConfig measures the configuration generator (CG), run
+// once per collected sample.
+func BenchmarkRandomConfig(b *testing.B) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Random(rng)
+	}
+}
+
+// BenchmarkGet measures named parameter lookup, the simulator's hottest
+// accessor.
+func BenchmarkGet(b *testing.B) {
+	c := StandardSpace().Default()
+	for i := 0; i < b.N; i++ {
+		c.Get(ExecutorMemory)
+	}
+}
+
+// BenchmarkFromVector measures decoding a GA individual back to a Config.
+func BenchmarkFromVector(b *testing.B) {
+	s := StandardSpace()
+	vec := s.Default().Vector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.FromVector(vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package conf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardSpaceHas41Params(t *testing.T) {
+	s := StandardSpace()
+	if s.Len() != NumParams {
+		t.Fatalf("StandardSpace has %d params, want %d", s.Len(), NumParams)
+	}
+}
+
+func TestStandardSpaceDefaultsInRange(t *testing.T) {
+	s := StandardSpace()
+	for i := 0; i < s.Len(); i++ {
+		p := s.Param(i)
+		if p.Default < p.Min || p.Default > p.Max {
+			t.Errorf("%s: default %v outside [%v, %v]", p.Name, p.Default, p.Min, p.Max)
+		}
+		if p.Kind == Enum && int(p.Max) != len(p.Choices)-1 {
+			t.Errorf("%s: enum Max %v inconsistent with %d choices", p.Name, p.Max, len(p.Choices))
+		}
+	}
+}
+
+func TestTable2Defaults(t *testing.T) {
+	// Spot-check paper Table 2 defaults.
+	c := StandardSpace().Default()
+	tests := []struct {
+		name string
+		want float64
+	}{
+		{ReducerMaxSizeInFlight, 48},
+		{ShuffleFileBuffer, 32},
+		{ExecutorMemory, 1024},
+		{DriverCores, 1},
+		{MemoryFraction, 0.75},
+		{MemoryStorageFraction, 0.5},
+		{TaskMaxFailures, 4},
+		{Serializer, SerializerJava},
+		{IOCompressionCodec, CodecSnappy},
+		{ShuffleManager, ShuffleSort},
+	}
+	for _, tc := range tests {
+		if got := c.Get(tc.name); got != tc.want {
+			t.Errorf("%s default = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if c.GetBool(ShuffleCompress) != true {
+		t.Error("shuffle.compress default should be true")
+	}
+	if c.GetBool(Speculation) != false {
+		t.Error("speculation default should be false")
+	}
+}
+
+func TestNewSpaceRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []Param
+	}{
+		{"empty name", []Param{{Name: "", Min: 0, Max: 1}}},
+		{"duplicate", []Param{{Name: "a", Min: 0, Max: 1}, {Name: "a", Min: 0, Max: 1}}},
+		{"inverted range", []Param{{Name: "a", Min: 5, Max: 1}}},
+		{"enum without choices", []Param{{Name: "a", Kind: Enum, Min: 0, Max: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewSpace(tc.params); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestRandomConfigsInRange(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 100; k++ {
+		c := s.Random(rng)
+		for i := 0; i < s.Len(); i++ {
+			p := s.Param(i)
+			v := c.At(i)
+			if v < p.Min || v > p.Max {
+				t.Fatalf("%s: random value %v outside [%v,%v]", p.Name, v, p.Min, p.Max)
+			}
+			if p.Kind != Float && v != float64(int64(v)) {
+				t.Fatalf("%s: discrete value %v not integral", p.Name, v)
+			}
+		}
+	}
+}
+
+func TestConfigSetGetClamping(t *testing.T) {
+	c := StandardSpace().Default()
+	c.Set(ExecutorMemory, 99999)
+	if got := c.Get(ExecutorMemory); got != 12288 {
+		t.Errorf("Set should clamp high: got %v", got)
+	}
+	c.Set(ExecutorMemory, -5)
+	if got := c.Get(ExecutorMemory); got != 1024 {
+		t.Errorf("Set should clamp low: got %v", got)
+	}
+	c.SetBool(Speculation, true)
+	if !c.GetBool(Speculation) {
+		t.Error("SetBool(true) not read back")
+	}
+	if got := c.GetEnum(IOCompressionCodec); got != "snappy" {
+		t.Errorf("GetEnum = %q, want snappy", got)
+	}
+	c.Set(IOCompressionCodec, CodecLZ4)
+	if got := c.GetEnum(IOCompressionCodec); got != "lz4" {
+		t.Errorf("GetEnum after set = %q, want lz4", got)
+	}
+}
+
+func TestConfigCloneIsDeep(t *testing.T) {
+	a := StandardSpace().Default()
+	b := a.Clone()
+	b.Set(ExecutorCores, 3)
+	if a.Get(ExecutorCores) == 3 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(4))
+	c := s.Random(rng)
+	c2, err := s.FromVector(c.Vector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if c.At(i) != c2.At(i) {
+			t.Fatalf("round trip changed param %d: %v != %v", i, c.At(i), c2.At(i))
+		}
+	}
+	if _, err := s.FromVector([]float64{1, 2}); err == nil {
+		t.Error("FromVector should reject wrong length")
+	}
+}
+
+func TestUnknownParamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Get of unknown parameter should panic")
+		}
+	}()
+	StandardSpace().Default().Get("spark.not.a.param")
+}
+
+func TestConfigString(t *testing.T) {
+	s := StandardSpace().Default().String()
+	if !strings.Contains(s, "spark.executor.memory 1024") {
+		t.Errorf("String missing executor memory line:\n%s", s)
+	}
+	if !strings.Contains(s, "spark.serializer java") {
+		t.Errorf("String missing serializer line:\n%s", s)
+	}
+	if !strings.Contains(s, "spark.shuffle.compress true") {
+		t.Errorf("String missing bool formatting:\n%s", s)
+	}
+}
+
+func TestParamFormatValue(t *testing.T) {
+	p := Param{Name: "x", Kind: Bool, Min: 0, Max: 1}
+	if p.FormatValue(0.9) != "true" || p.FormatValue(0.1) != "false" {
+		t.Error("bool formatting wrong")
+	}
+	q := Param{Name: "y", Kind: Float, Min: 0, Max: 1, Default: 0.5}
+	if q.FormatValue(0.25) != "0.25" {
+		t.Errorf("float formatting: %q", q.FormatValue(0.25))
+	}
+}
+
+// Property: Clamp is idempotent and always lands in range.
+func TestClampProperty(t *testing.T) {
+	s := StandardSpace()
+	f := func(idx uint, v float64) bool {
+		p := s.Param(int(idx % uint(s.Len())))
+		c1 := p.Clamp(v)
+		if c1 < p.Min || c1 > p.Max {
+			return false
+		}
+		return p.Clamp(c1) == c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromVector(Vector()) is the identity on legal configs.
+func TestFromVectorIdempotentProperty(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(5))
+	f := func(int64) bool {
+		c := s.Random(rng)
+		c2, err := s.FromVector(c.Vector())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if c.At(i) != c2.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package conf defines the Spark configuration space tuned by DAC: the 41
+// performance-critical parameters of Table 2 in the paper, with their value
+// ranges and defaults, plus the Config vector type the models and searchers
+// operate on.
+//
+// Every parameter value is encoded as a float64 so that a whole
+// configuration is a flat vector {c1, ..., c41} (Eq. 3 in the paper):
+// integers round to the nearest integer, booleans encode as 0/1, and
+// enumerations encode as the index into their choice list. The encoding is
+// what the regression models consume and what the genetic algorithm mutates.
+package conf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind classifies how a parameter's float64 encoding is interpreted.
+type Kind int
+
+const (
+	// Int parameters take integer values in [Min, Max].
+	Int Kind = iota
+	// Float parameters take real values in [Min, Max].
+	Float
+	// Bool parameters encode false as 0 and true as 1.
+	Bool
+	// Enum parameters encode choice i of Choices as float64(i).
+	Enum
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Enum:
+		return "enum"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Param describes one tunable configuration parameter.
+type Param struct {
+	// Name is the full Spark property name, e.g. "spark.executor.memory".
+	Name string
+	// Desc is the one-line description from Table 2.
+	Desc string
+	// Kind selects the encoding.
+	Kind Kind
+	// Min and Max bound Int and Float parameters (inclusive). For Bool
+	// they are 0 and 1; for Enum, 0 and len(Choices)-1.
+	Min, Max float64
+	// Choices lists the values of an Enum parameter.
+	Choices []string
+	// Default is the encoded default value recommended by the Spark team.
+	Default float64
+	// Unit is the human-readable unit ("MB", "KB", "s", ...), if any.
+	Unit string
+}
+
+// Span returns Max-Min, the width of the parameter's encoded range.
+func (p *Param) Span() float64 { return p.Max - p.Min }
+
+// Clamp bounds v to the parameter's legal encoded range and, for Int, Bool
+// and Enum kinds, rounds it to the nearest legal discrete value.
+func (p *Param) Clamp(v float64) float64 {
+	if math.IsNaN(v) {
+		return p.Default
+	}
+	if v < p.Min {
+		v = p.Min
+	}
+	if v > p.Max {
+		v = p.Max
+	}
+	if p.Kind != Float {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// Random returns a uniformly random legal encoded value.
+func (p *Param) Random(rng *rand.Rand) float64 {
+	switch p.Kind {
+	case Float:
+		return p.Min + rng.Float64()*(p.Max-p.Min)
+	default:
+		n := int(p.Max-p.Min) + 1
+		return p.Min + float64(rng.Intn(n))
+	}
+}
+
+// FormatValue renders an encoded value the way it would appear in a
+// spark-dac.conf file.
+func (p *Param) FormatValue(v float64) string {
+	v = p.Clamp(v)
+	switch p.Kind {
+	case Bool:
+		if v >= 0.5 {
+			return "true"
+		}
+		return "false"
+	case Enum:
+		return p.Choices[int(v)]
+	case Int:
+		return fmt.Sprintf("%d", int(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

@@ -1,0 +1,104 @@
+package conf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPropertiesRoundTrip(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 20; k++ {
+		orig := s.Random(rng)
+		var buf bytes.Buffer
+		if err := orig.WriteProperties(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.ReadProperties(&buf)
+		if err != nil {
+			t.Fatalf("round %d: %v\n%s", k, err, buf.String())
+		}
+		for i := 0; i < s.Len(); i++ {
+			p := s.Param(i)
+			a, b := orig.At(i), back.At(i)
+			if p.Kind == Float {
+				// Float formatting uses %g; compare parsed.
+				if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%s: %v != %v", p.Name, a, b)
+				}
+			} else if a != b {
+				t.Fatalf("%s: %v != %v", p.Name, a, b)
+			}
+		}
+	}
+}
+
+func TestReadPropertiesFormats(t *testing.T) {
+	s := StandardSpace()
+	in := `# a comment
+
+spark.executor.memory=8192
+spark.serializer kryo
+spark.shuffle.compress	false
+`
+	cfg, err := s.ReadProperties(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GetInt(ExecutorMemory) != 8192 {
+		t.Errorf("memory = %v", cfg.Get(ExecutorMemory))
+	}
+	if cfg.GetEnum(Serializer) != "kryo" {
+		t.Errorf("serializer = %v", cfg.GetEnum(Serializer))
+	}
+	if cfg.GetBool(ShuffleCompress) {
+		t.Error("shuffle.compress should be false")
+	}
+	// Untouched keys keep defaults.
+	if cfg.GetInt(DriverCores) != 1 {
+		t.Errorf("driver cores = %v, want default 1", cfg.Get(DriverCores))
+	}
+}
+
+func TestReadPropertiesRejectsGarbage(t *testing.T) {
+	s := StandardSpace()
+	cases := []string{
+		"spark.not.a.param 5",
+		"spark.executor.memory notanumber",
+		"spark.serializer marshal",
+		"spark.shuffle.compress maybe",
+		"justonetoken",
+	}
+	for _, in := range cases {
+		if _, err := s.ReadProperties(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadPropertiesClampsNumbers(t *testing.T) {
+	s := StandardSpace()
+	cfg, err := s.ReadProperties(strings.NewReader("spark.executor.memory 999999"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.GetInt(ExecutorMemory); got != 12288 {
+		t.Errorf("out-of-range value should clamp to 12288, got %d", got)
+	}
+}
+
+func TestParseValueBooleans(t *testing.T) {
+	p := Param{Name: "b", Kind: Bool, Min: 0, Max: 1}
+	for _, s := range []string{"true", "TRUE", "1", "yes"} {
+		if v, err := p.ParseValue(s); err != nil || v != 1 {
+			t.Errorf("ParseValue(%q) = %v, %v", s, v, err)
+		}
+	}
+	for _, s := range []string{"false", "0", "no"} {
+		if v, err := p.ParseValue(s); err != nil || v != 0 {
+			t.Errorf("ParseValue(%q) = %v, %v", s, v, err)
+		}
+	}
+}

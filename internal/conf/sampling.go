@@ -1,0 +1,61 @@
+package conf
+
+import "math/rand"
+
+// Sampler generates the configurations the collecting component runs. The
+// paper's CG draws each parameter independently and uniformly (§3.1);
+// LatinHypercube is the space-filling alternative auto-tuners commonly
+// prefer, offered as an ablation (same budget, better marginal coverage).
+type Sampler interface {
+	// Sample returns n configurations from the space.
+	Sample(s *Space, n int, rng *rand.Rand) []Config
+}
+
+// UniformSampler implements the paper's configuration generator: every
+// parameter uniform over its range, independently per configuration.
+type UniformSampler struct{}
+
+// Sample implements Sampler.
+func (UniformSampler) Sample(s *Space, n int, rng *rand.Rand) []Config {
+	out := make([]Config, n)
+	for i := range out {
+		out[i] = s.Random(rng)
+	}
+	return out
+}
+
+// LatinHypercubeSampler stratifies every parameter into n bins and
+// permutes bin assignments independently per dimension, guaranteeing each
+// parameter's range is covered evenly across the batch.
+type LatinHypercubeSampler struct{}
+
+// Sample implements Sampler.
+func (LatinHypercubeSampler) Sample(s *Space, n int, rng *rand.Rand) []Config {
+	if n <= 0 {
+		return nil
+	}
+	d := s.Len()
+	// One permutation of bins per dimension.
+	cols := make([][]int, d)
+	for j := 0; j < d; j++ {
+		cols[j] = rng.Perm(n)
+	}
+	out := make([]Config, n)
+	for i := 0; i < n; i++ {
+		vec := make([]float64, d)
+		for j := 0; j < d; j++ {
+			p := s.Param(j)
+			// Uniform within the assigned stratum.
+			u := (float64(cols[j][i]) + rng.Float64()) / float64(n)
+			vec[j] = p.Clamp(p.Min + u*p.Span())
+		}
+		cfg, err := s.FromVector(vec)
+		if err != nil {
+			// FromVector only fails on length mismatch, which cannot
+			// happen here.
+			panic("conf: internal: " + err.Error())
+		}
+		out[i] = cfg
+	}
+	return out
+}

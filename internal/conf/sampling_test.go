@@ -1,0 +1,150 @@
+package conf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformSamplerShape(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(1))
+	cfgs := UniformSampler{}.Sample(s, 20, rng)
+	if len(cfgs) != 20 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	for _, c := range cfgs {
+		for i := 0; i < s.Len(); i++ {
+			p := s.Param(i)
+			if c.At(i) < p.Min || c.At(i) > p.Max {
+				t.Fatalf("%s out of range", p.Name)
+			}
+		}
+	}
+}
+
+func TestLatinHypercubeStratifies(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(2))
+	n := 50
+	cfgs := LatinHypercubeSampler{}.Sample(s, n, rng)
+	if len(cfgs) != n {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	// For a continuous parameter, every n-quantile stratum must be hit
+	// exactly once.
+	i, _ := s.Index(MemoryFraction)
+	p := s.Param(i)
+	seen := make([]bool, n)
+	for _, c := range cfgs {
+		u := (c.At(i) - p.Min) / p.Span()
+		bin := int(u * float64(n))
+		if bin == n {
+			bin--
+		}
+		if seen[bin] {
+			t.Fatalf("stratum %d hit twice for %s", bin, p.Name)
+		}
+		seen[bin] = true
+	}
+	for b, ok := range seen {
+		if !ok {
+			t.Fatalf("stratum %d never hit", b)
+		}
+	}
+	if got := (LatinHypercubeSampler{}).Sample(s, 0, rng); got != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+// LHS marginal coverage should beat uniform sampling: the maximum gap
+// between sorted samples of a continuous parameter is smaller.
+func TestLHSCoverageBeatsUniform(t *testing.T) {
+	s := StandardSpace()
+	i, _ := s.Index(MemoryFraction)
+	p := s.Param(i)
+	maxGap := func(cfgs []Config) float64 {
+		vals := make([]float64, len(cfgs))
+		for k, c := range cfgs {
+			vals[k] = (c.At(i) - p.Min) / p.Span()
+		}
+		for a := 1; a < len(vals); a++ {
+			for b := a; b > 0 && vals[b] < vals[b-1]; b-- {
+				vals[b], vals[b-1] = vals[b-1], vals[b]
+			}
+		}
+		gap := vals[0]
+		for k := 1; k < len(vals); k++ {
+			gap = math.Max(gap, vals[k]-vals[k-1])
+		}
+		return math.Max(gap, 1-vals[len(vals)-1])
+	}
+	rng := rand.New(rand.NewSource(3))
+	lhs := maxGap(LatinHypercubeSampler{}.Sample(s, 40, rng))
+	uni := maxGap(UniformSampler{}.Sample(s, 40, rng))
+	if lhs >= uni {
+		t.Fatalf("LHS max gap %v not smaller than uniform %v", lhs, uni)
+	}
+}
+
+func TestSubSpaceExpand(t *testing.T) {
+	full := StandardSpace()
+	base := full.Default().Set(DriverMemory, 4096)
+	ss, err := NewSubSpace(full, base, []string{ExecutorMemory, ExecutorCores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Tunable.Len() != 2 {
+		t.Fatalf("tunable has %d params", ss.Tunable.Len())
+	}
+	cfg := ss.Tunable.Default().Set(ExecutorMemory, 8192).Set(ExecutorCores, 4)
+	fullCfg, err := ss.Expand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullCfg.GetInt(ExecutorMemory) != 8192 || fullCfg.GetInt(ExecutorCores) != 4 {
+		t.Error("tuned parameters not expanded")
+	}
+	if fullCfg.GetInt(DriverMemory) != 4096 {
+		t.Error("frozen parameter lost its base value")
+	}
+	if fullCfg.GetInt(DefaultParallelism) != 16 {
+		t.Error("frozen parameter lost its default")
+	}
+}
+
+func TestSubSpaceExpandVector(t *testing.T) {
+	full := StandardSpace()
+	ss, err := NewSubSpace(full, full.Default(), []string{ExecutorMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ss.ExpandVector([]float64{12288})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GetInt(ExecutorMemory) != 12288 {
+		t.Errorf("expanded memory = %d", cfg.GetInt(ExecutorMemory))
+	}
+	if _, err := ss.ExpandVector([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong-length vector should fail")
+	}
+}
+
+func TestSubSpaceRejectsBadInput(t *testing.T) {
+	full := StandardSpace()
+	if _, err := NewSubSpace(full, full.Default(), nil); err == nil {
+		t.Error("empty name list should fail")
+	}
+	if _, err := NewSubSpace(full, full.Default(), []string{"nope"}); err == nil {
+		t.Error("unknown name should fail")
+	}
+	other := StandardSpace()
+	if _, err := NewSubSpace(full, other.Default(), []string{ExecutorMemory}); err == nil {
+		t.Error("base from a different space should fail")
+	}
+	ss, _ := NewSubSpace(full, full.Default(), []string{ExecutorMemory})
+	if _, err := ss.Expand(full.Default()); err == nil {
+		t.Error("expanding a full-space config should fail")
+	}
+}

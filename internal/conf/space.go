@@ -1,0 +1,194 @@
+package conf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Space is an ordered set of tunable parameters. The order defines the
+// layout of every Config vector drawn from the space.
+type Space struct {
+	params []Param
+	index  map[string]int
+}
+
+// NewSpace builds a space over the given parameters. Parameter names must
+// be unique.
+func NewSpace(params []Param) (*Space, error) {
+	s := &Space{
+		params: make([]Param, len(params)),
+		index:  make(map[string]int, len(params)),
+	}
+	copy(s.params, params)
+	for i, p := range s.params {
+		if p.Name == "" {
+			return nil, fmt.Errorf("conf: parameter %d has empty name", i)
+		}
+		if _, dup := s.index[p.Name]; dup {
+			return nil, fmt.Errorf("conf: duplicate parameter %q", p.Name)
+		}
+		if p.Max < p.Min {
+			return nil, fmt.Errorf("conf: parameter %q has Max < Min", p.Name)
+		}
+		if p.Kind == Enum && len(p.Choices) == 0 {
+			return nil, fmt.Errorf("conf: enum parameter %q has no choices", p.Name)
+		}
+		s.index[p.Name] = i
+	}
+	return s, nil
+}
+
+// StandardSpace returns the 41-parameter Spark configuration space of
+// Table 2. It panics only on an internal table inconsistency, which is
+// covered by tests.
+func StandardSpace() *Space {
+	s, err := NewSpace(table2)
+	if err != nil {
+		panic("conf: invalid built-in table2: " + err.Error())
+	}
+	return s
+}
+
+// Len returns the number of parameters (the dimensionality n of Eq. 3).
+func (s *Space) Len() int { return len(s.params) }
+
+// Param returns the i-th parameter descriptor.
+func (s *Space) Param(i int) *Param { return &s.params[i] }
+
+// Index returns the position of the named parameter and whether it exists.
+func (s *Space) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the parameter names in vector order.
+func (s *Space) Names() []string {
+	names := make([]string, len(s.params))
+	for i, p := range s.params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Default returns the Spark-team-recommended default configuration.
+func (s *Space) Default() Config {
+	v := make([]float64, len(s.params))
+	for i, p := range s.params {
+		v[i] = p.Default
+	}
+	return Config{space: s, vals: v}
+}
+
+// Random draws a configuration uniformly at random from the space, the way
+// the paper's configuration generator (CG) does.
+func (s *Space) Random(rng *rand.Rand) Config {
+	v := make([]float64, len(s.params))
+	for i := range s.params {
+		v[i] = s.params[i].Random(rng)
+	}
+	return Config{space: s, vals: v}
+}
+
+// FromVector builds a Config from an encoded vector, clamping every
+// component to its legal range. The vector length must equal Len.
+func (s *Space) FromVector(vec []float64) (Config, error) {
+	if len(vec) != len(s.params) {
+		return Config{}, fmt.Errorf("conf: vector length %d, want %d", len(vec), len(s.params))
+	}
+	v := make([]float64, len(vec))
+	for i := range vec {
+		v[i] = s.params[i].Clamp(vec[i])
+	}
+	return Config{space: s, vals: v}, nil
+}
+
+// Config is one point in a Space: an encoded value per parameter
+// ({c_i1, ..., c_in} in Eq. 3).
+type Config struct {
+	space *Space
+	vals  []float64
+}
+
+// Space returns the space the configuration belongs to.
+func (c Config) Space() *Space { return c.space }
+
+// Vector returns a copy of the encoded parameter values in space order.
+func (c Config) Vector() []float64 {
+	out := make([]float64, len(c.vals))
+	copy(out, c.vals)
+	return out
+}
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	return Config{space: c.space, vals: c.Vector()}
+}
+
+// Get returns the encoded value of the named parameter. It panics on an
+// unknown name: parameter names are compile-time constants in this module,
+// so a miss is a programming error, not an input error.
+func (c Config) Get(name string) float64 {
+	i, ok := c.space.index[name]
+	if !ok {
+		panic("conf: unknown parameter " + name)
+	}
+	return c.vals[i]
+}
+
+// GetInt returns the named parameter as an int.
+func (c Config) GetInt(name string) int { return int(c.Get(name)) }
+
+// GetBool returns the named parameter as a bool.
+func (c Config) GetBool(name string) bool { return c.Get(name) >= 0.5 }
+
+// GetEnum returns the string choice selected by the named Enum parameter.
+func (c Config) GetEnum(name string) string {
+	i, ok := c.space.index[name]
+	if !ok {
+		panic("conf: unknown parameter " + name)
+	}
+	p := &c.space.params[i]
+	return p.Choices[int(p.Clamp(c.vals[i]))]
+}
+
+// Set assigns an encoded value to the named parameter, clamping it to the
+// legal range, and returns the receiver for chaining.
+func (c Config) Set(name string, v float64) Config {
+	i, ok := c.space.index[name]
+	if !ok {
+		panic("conf: unknown parameter " + name)
+	}
+	c.vals[i] = c.space.params[i].Clamp(v)
+	return c
+}
+
+// SetBool assigns a boolean parameter.
+func (c Config) SetBool(name string, v bool) Config {
+	x := 0.0
+	if v {
+		x = 1
+	}
+	return c.Set(name, x)
+}
+
+// At returns the encoded value at vector position i.
+func (c Config) At(i int) float64 { return c.vals[i] }
+
+// SetAt assigns (with clamping) the encoded value at vector position i.
+func (c Config) SetAt(i int, v float64) {
+	c.vals[i] = c.space.params[i].Clamp(v)
+}
+
+// String renders the configuration in spark-dac.conf style, sorted by
+// parameter name for stable output.
+func (c Config) String() string {
+	lines := make([]string, len(c.vals))
+	for i := range c.vals {
+		p := &c.space.params[i]
+		lines[i] = p.Name + " " + p.FormatValue(c.vals[i])
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

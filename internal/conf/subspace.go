@@ -1,0 +1,63 @@
+package conf
+
+import "fmt"
+
+// SubSpace restricts tuning to a subset of a space's parameters: the
+// returned space contains only the named parameters, and Expand maps its
+// configurations back to the full space with every frozen parameter at the
+// base configuration's value. It powers the "do the top-k knobs suffice?"
+// analysis that connects feature importance back to tuning action.
+type SubSpace struct {
+	// Tunable is the reduced space (use it with samplers and searchers).
+	Tunable *Space
+	full    *Space
+	base    Config
+	idx     []int // Tunable position -> full-space position
+}
+
+// NewSubSpace builds a subspace of full over the named parameters, with
+// frozen parameters pinned to base (which must belong to full).
+func NewSubSpace(full *Space, base Config, names []string) (*SubSpace, error) {
+	if base.Space() != full {
+		return nil, fmt.Errorf("conf: base configuration belongs to a different space")
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("conf: subspace needs at least one parameter")
+	}
+	params := make([]Param, 0, len(names))
+	idx := make([]int, 0, len(names))
+	for _, name := range names {
+		i, ok := full.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("conf: unknown parameter %q", name)
+		}
+		params = append(params, *full.Param(i))
+		idx = append(idx, i)
+	}
+	tunable, err := NewSpace(params)
+	if err != nil {
+		return nil, err
+	}
+	return &SubSpace{Tunable: tunable, full: full, base: base.Clone(), idx: idx}, nil
+}
+
+// Expand maps a Tunable-space configuration to the full space.
+func (ss *SubSpace) Expand(cfg Config) (Config, error) {
+	if cfg.Space() != ss.Tunable {
+		return Config{}, fmt.Errorf("conf: configuration not from this subspace")
+	}
+	out := ss.base.Clone()
+	for ti, fi := range ss.idx {
+		out.SetAt(fi, cfg.At(ti))
+	}
+	return out, nil
+}
+
+// ExpandVector maps a Tunable-space encoded vector to the full space.
+func (ss *SubSpace) ExpandVector(vec []float64) (Config, error) {
+	cfg, err := ss.Tunable.FromVector(vec)
+	if err != nil {
+		return Config{}, err
+	}
+	return ss.Expand(cfg)
+}

@@ -1,0 +1,118 @@
+package conf
+
+// Canonical parameter names, exported so the simulator and the expert
+// baseline can reference parameters without string typos.
+const (
+	ReducerMaxSizeInFlight    = "spark.reducer.maxSizeInFlight"
+	ShuffleFileBuffer         = "spark.shuffle.file.buffer"
+	ShuffleBypassMergeThresh  = "spark.shuffle.sort.bypassMergeThreshold"
+	SpeculationInterval       = "spark.speculation.interval"
+	SpeculationMultiplier     = "spark.speculation.multiplier"
+	SpeculationQuantile       = "spark.speculation.quantile"
+	BroadcastBlockSize        = "spark.broadcast.blockSize"
+	IOCompressionCodec        = "spark.io.compression.codec"
+	IOCompressionLZ4Block     = "spark.io.compression.lz4.blockSize"
+	IOCompressionSnappyBlock  = "spark.io.compression.snappy.blockSize"
+	KryoReferenceTracking     = "spark.kryo.referenceTracking"
+	KryoserializerBufferMax   = "spark.kryoserializer.buffer.max"
+	KryoserializerBuffer      = "spark.kryoserializer.buffer"
+	DriverCores               = "spark.driver.cores"
+	ExecutorCores             = "spark.executor.cores"
+	DriverMemory              = "spark.driver.memory"
+	ExecutorMemory            = "spark.executor.memory"
+	StorageMemoryMapThreshold = "spark.storage.memoryMapThreshold"
+	AkkaFailureDetector       = "spark.akka.failure.detector.threshold"
+	AkkaHeartbeatPauses       = "spark.akka.heartbeat.pauses"
+	AkkaHeartbeatInterval     = "spark.akka.heartbeat.interval"
+	AkkaThreads               = "spark.akka.threads"
+	NetworkTimeout            = "spark.network.timeout"
+	LocalityWait              = "spark.locality.wait"
+	SchedulerReviveInterval   = "spark.scheduler.revive.interval"
+	TaskMaxFailures           = "spark.task.maxFailures"
+	ShuffleCompress           = "spark.shuffle.compress"
+	ShuffleConsolidateFiles   = "spark.shuffle.consolidateFiles"
+	MemoryFraction            = "spark.memory.fraction"
+	ShuffleSpill              = "spark.shuffle.spill"
+	ShuffleSpillCompress      = "spark.shuffle.spill.compress"
+	Speculation               = "spark.speculation"
+	BroadcastCompress         = "spark.broadcast.compress"
+	RDDCompress               = "spark.rdd.compress"
+	Serializer                = "spark.serializer"
+	MemoryStorageFraction     = "spark.memory.storageFraction"
+	LocalExecutionEnabled     = "spark.localExecution.enabled"
+	DefaultParallelism        = "spark.default.parallelism"
+	MemoryOffHeapEnabled      = "spark.memory.offHeap.enabled"
+	ShuffleManager            = "spark.shuffle.manager"
+	MemoryOffHeapSize         = "spark.memory.offHeap.size"
+)
+
+// Codec choices for spark.io.compression.codec, in encoding order.
+const (
+	CodecSnappy = 0
+	CodecLZF    = 1
+	CodecLZ4    = 2
+)
+
+// Serializer choices for spark.serializer, in encoding order.
+const (
+	SerializerJava = 0
+	SerializerKryo = 1
+)
+
+// Shuffle manager choices for spark.shuffle.manager, in encoding order.
+const (
+	ShuffleSort = 0
+	ShuffleHash = 1
+)
+
+// table2 lists the 41 performance-critical Spark configuration parameters
+// exactly as in Table 2 of the paper: name, description, range, default.
+// Defaults written as "#" in the paper (core count, cluster-derived
+// parallelism) are instantiated for the paper's 12-core-socket executors.
+var table2 = []Param{
+	{Name: ReducerMaxSizeInFlight, Desc: "Maximum size of map outputs to fetch simultaneously from each reduce task", Kind: Int, Min: 2, Max: 128, Default: 48, Unit: "MB"},
+	{Name: ShuffleFileBuffer, Desc: "Size of the in-memory buffer for each shuffle file output stream", Kind: Int, Min: 2, Max: 128, Default: 32, Unit: "KB"},
+	{Name: ShuffleBypassMergeThresh, Desc: "Avoid merge-sorting data if there is no map-side aggregation", Kind: Int, Min: 100, Max: 1000, Default: 200},
+	{Name: SpeculationInterval, Desc: "How often Spark will check for tasks to speculate", Kind: Int, Min: 10, Max: 1000, Default: 100, Unit: "ms"},
+	{Name: SpeculationMultiplier, Desc: "How many times slower a task is than the median to be considered for speculation", Kind: Float, Min: 1, Max: 5, Default: 1.5},
+	{Name: SpeculationQuantile, Desc: "Percentage of tasks which must be complete before speculation is enabled", Kind: Float, Min: 0, Max: 1, Default: 0.75},
+	{Name: BroadcastBlockSize, Desc: "Size of each piece of a block for TorrentBroadcastFactory", Kind: Int, Min: 2, Max: 128, Default: 4, Unit: "MB"},
+	{Name: IOCompressionCodec, Desc: "The codec used to compress internal data such as RDD partitions", Kind: Enum, Min: 0, Max: 2, Choices: []string{"snappy", "lzf", "lz4"}, Default: CodecSnappy},
+	{Name: IOCompressionLZ4Block, Desc: "Block size used in LZ4 compression", Kind: Int, Min: 2, Max: 128, Default: 32, Unit: "KB"},
+	{Name: IOCompressionSnappyBlock, Desc: "Block size used in snappy compression", Kind: Int, Min: 2, Max: 128, Default: 32, Unit: "KB"},
+	{Name: KryoReferenceTracking, Desc: "Whether to track references to the same object when serializing data with Kryo", Kind: Bool, Min: 0, Max: 1, Default: 1},
+	{Name: KryoserializerBufferMax, Desc: "Maximum allowable size of Kryo serialization buffer", Kind: Int, Min: 8, Max: 128, Default: 64, Unit: "MB"},
+	{Name: KryoserializerBuffer, Desc: "Initial size of Kryo's serialization buffer", Kind: Int, Min: 2, Max: 128, Default: 64, Unit: "KB"},
+	{Name: DriverCores, Desc: "Number of cores to use for the driver process", Kind: Int, Min: 1, Max: 12, Default: 1},
+	{Name: ExecutorCores, Desc: "The number of cores to use on each executor", Kind: Int, Min: 1, Max: 12, Default: 12},
+	{Name: DriverMemory, Desc: "Amount of memory to use for the driver process", Kind: Int, Min: 1024, Max: 12288, Default: 1024, Unit: "MB"},
+	{Name: ExecutorMemory, Desc: "Amount of memory to use per executor process", Kind: Int, Min: 1024, Max: 12288, Default: 1024, Unit: "MB"},
+	{Name: StorageMemoryMapThreshold, Desc: "Size of a block above which Spark maps when reading a block from disk", Kind: Int, Min: 50, Max: 500, Default: 50, Unit: "MB"},
+	{Name: AkkaFailureDetector, Desc: "Set to a larger value to disable failure detector in Akka", Kind: Int, Min: 100, Max: 500, Default: 300},
+	{Name: AkkaHeartbeatPauses, Desc: "Heart beat pause for Akka", Kind: Int, Min: 1000, Max: 10000, Default: 6000, Unit: "s"},
+	{Name: AkkaHeartbeatInterval, Desc: "Heart beat interval for Akka", Kind: Int, Min: 200, Max: 5000, Default: 1000, Unit: "s"},
+	{Name: AkkaThreads, Desc: "Number of actor threads to use for communication", Kind: Int, Min: 1, Max: 8, Default: 4},
+	{Name: NetworkTimeout, Desc: "Default timeout for all network interactions", Kind: Int, Min: 20, Max: 500, Default: 120, Unit: "s"},
+	{Name: LocalityWait, Desc: "How long to launch a data-local task before giving up", Kind: Int, Min: 1, Max: 10, Default: 3, Unit: "s"},
+	{Name: SchedulerReviveInterval, Desc: "The interval length for the scheduler to revive the worker resource", Kind: Int, Min: 2, Max: 50, Default: 2, Unit: "s"},
+	{Name: TaskMaxFailures, Desc: "Number of task failures before giving up on the job", Kind: Int, Min: 1, Max: 8, Default: 4},
+	{Name: ShuffleCompress, Desc: "Whether to compress map output files", Kind: Bool, Min: 0, Max: 1, Default: 1},
+	{Name: ShuffleConsolidateFiles, Desc: "If true, consolidates intermediate files created during a shuffle", Kind: Bool, Min: 0, Max: 1, Default: 0},
+	{Name: MemoryFraction, Desc: "Fraction of (heap space - 300 MB) used for execution and storage", Kind: Float, Min: 0.5, Max: 1, Default: 0.75},
+	{Name: ShuffleSpill, Desc: "Responsible for enabling/disabling spilling", Kind: Bool, Min: 0, Max: 1, Default: 1},
+	{Name: ShuffleSpillCompress, Desc: "Whether to compress data spilled during shuffles", Kind: Bool, Min: 0, Max: 1, Default: 1},
+	{Name: Speculation, Desc: "If true, performs speculative execution of tasks", Kind: Bool, Min: 0, Max: 1, Default: 0},
+	{Name: BroadcastCompress, Desc: "Whether to compress broadcast variables before sending them", Kind: Bool, Min: 0, Max: 1, Default: 1},
+	{Name: RDDCompress, Desc: "Whether to compress serialized RDD partitions", Kind: Bool, Min: 0, Max: 1, Default: 0},
+	{Name: Serializer, Desc: "Class to use for serializing objects sent over the network or cached in serialized form", Kind: Enum, Min: 0, Max: 1, Choices: []string{"java", "kryo"}, Default: SerializerJava},
+	{Name: MemoryStorageFraction, Desc: "Amount of storage memory immune to eviction, as a fraction of spark.memory.fraction", Kind: Float, Min: 0.5, Max: 1, Default: 0.5},
+	{Name: LocalExecutionEnabled, Desc: "Enables Spark to run certain jobs on the driver, without sending tasks to the cluster", Kind: Bool, Min: 0, Max: 1, Default: 0},
+	{Name: DefaultParallelism, Desc: "The largest number of partitions in a parent RDD for distributed shuffle operations", Kind: Int, Min: 8, Max: 50, Default: 16},
+	{Name: MemoryOffHeapEnabled, Desc: "If true, Spark will attempt to use off-heap memory for certain operations", Kind: Bool, Min: 0, Max: 1, Default: 0},
+	{Name: ShuffleManager, Desc: "Implementation to use for shuffling data", Kind: Enum, Min: 0, Max: 1, Choices: []string{"sort", "hash"}, Default: ShuffleSort},
+	{Name: MemoryOffHeapSize, Desc: "The absolute amount of memory which can be used for off-heap allocation", Kind: Int, Min: 10, Max: 1000, Default: 10, Unit: "MB"},
+}
+
+// NumParams is the dimensionality of the DAC configuration space (the "41"
+// in the paper's title claim).
+const NumParams = 41

@@ -1,0 +1,362 @@
+// Package core is the paper's primary contribution assembled: the DAC
+// auto-tuner of Fig. 4, with its three components — collecting (random
+// configurations × dataset sizes run on the cluster), modeling
+// (Hierarchical Modeling over the 41 parameters plus datasize), and
+// searching (a genetic algorithm over the trained model) — plus the RFHOC
+// baseline pipeline the paper reimplements for comparison.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/dataset"
+	"repro/internal/ga"
+	"repro/internal/hm"
+	"repro/internal/model"
+	"repro/internal/rf"
+)
+
+// UncertainModel is a performance model that can report how unsure it is
+// about a prediction (hm.Model of order ≥ 2 implements it).
+type UncertainModel interface {
+	model.Model
+	// PredictWithUncertainty returns the prediction in seconds and a
+	// dispersion estimate in seconds.
+	PredictWithUncertainty(x []float64) (pred, std float64)
+}
+
+// Executor runs one program-input pair under a configuration and reports
+// its execution time in seconds. The simulator-backed implementation lives
+// next to the Tuner (SimExecutor in this package); a binding to a real
+// cluster would satisfy the same interface.
+type Executor interface {
+	Execute(cfg conf.Config, dsizeMB float64) float64
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(cfg conf.Config, dsizeMB float64) float64
+
+// Execute implements Executor.
+func (f ExecutorFunc) Execute(cfg conf.Config, dsizeMB float64) float64 {
+	return f(cfg, dsizeMB)
+}
+
+// Options configures the pipeline. The zero value selects the paper's
+// settings: m=10 dataset sizes, ntrain=2000 training samples, HM modeling
+// with tc=5/lr=0.05/nt=3600, GA with popSize 100.
+type Options struct {
+	// NumSizes is m, the number of distinct training dataset sizes
+	// (§3.1 sets it to 10; consecutive sizes differ by ≥10%, Eq. 4).
+	NumSizes int
+	// NTrain is the number of performance vectors to collect (§5.1
+	// determines 2000).
+	NTrain int
+	// HM configures the performance model.
+	HM hm.Options
+	// GA configures the searcher.
+	GA ga.Options
+	// Parallelism bounds concurrent executions while collecting
+	// (0 = GOMAXPROCS). The simulated cluster cost is unaffected.
+	Parallelism int
+	// Sampler generates the collected configurations; nil selects the
+	// paper's uniform configuration generator. conf.LatinHypercubeSampler
+	// is the space-filling alternative (see the sampling ablation bench).
+	Sampler conf.Sampler
+	// RobustSearch makes the GA minimize prediction + RobustKappa ×
+	// model dispersion instead of the point prediction, when the model
+	// exposes an uncertainty estimate (hm models of order ≥ 2 do). This
+	// extension counters the searcher exploiting regions where the model
+	// is optimistically wrong; see the ablation benchmark.
+	RobustSearch bool
+	// RobustKappa is the dispersion penalty weight (default 1).
+	RobustKappa float64
+	// Seed drives configuration generation and sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumSizes <= 0 {
+		o.NumSizes = 10
+	}
+	if o.NTrain <= 0 {
+		o.NTrain = 2000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Tuner is a DAC instance for one program on one cluster.
+type Tuner struct {
+	// Space is the configuration space (conf.StandardSpace for Spark).
+	Space *conf.Space
+	// Exec runs the program-input pairs.
+	Exec Executor
+	// Opt holds the pipeline settings.
+	Opt Options
+}
+
+// Overhead records the pipeline's cost, the quantities of Table 3.
+type Overhead struct {
+	// CollectClusterHours is the accumulated execution time of the
+	// collected runs — cluster time, the paper's "collecting" hours.
+	CollectClusterHours float64
+	// ModelTrainSec is the wall-clock time spent training the model.
+	ModelTrainSec float64
+	// SearchSec is the wall-clock time spent searching per target size.
+	SearchSec float64
+}
+
+// TrainingSizesMB generates the m training dataset sizes between minMB and
+// maxMB, geometrically spaced so every consecutive pair differs by at
+// least 10% when the range allows it (Eq. 4).
+func (t *Tuner) TrainingSizesMB(minMB, maxMB float64) []float64 {
+	opt := t.Opt.withDefaults()
+	m := opt.NumSizes
+	if m == 1 || minMB >= maxMB {
+		return []float64{minMB}
+	}
+	ratio := math.Pow(maxMB/minMB, 1/float64(m-1))
+	sizes := make([]float64, m)
+	for i := range sizes {
+		sizes[i] = minMB * math.Pow(ratio, float64(i))
+	}
+	return sizes
+}
+
+// Collect runs the collecting component: NTrain executions with random
+// configurations spread across the given dataset sizes, gathered into a
+// training set. Executions run concurrently; results are deterministic in
+// (Seed, Exec) because each row's configuration and size are fixed up
+// front.
+func (t *Tuner) Collect(sizesMB []float64) (*dataset.Set, Overhead, error) {
+	opt := t.Opt.withDefaults()
+	if len(sizesMB) == 0 {
+		return nil, Overhead{}, fmt.Errorf("core: no dataset sizes")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sampler := opt.Sampler
+	if sampler == nil {
+		sampler = conf.UniformSampler{}
+	}
+	cfgs := sampler.Sample(t.Space, opt.NTrain, rng)
+	type job struct {
+		cfg  conf.Config
+		size float64
+	}
+	jobs := make([]job, opt.NTrain)
+	for i := range jobs {
+		jobs[i] = job{cfg: cfgs[i], size: sizesMB[i%len(sizesMB)]}
+	}
+
+	times := make([]float64, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			times[i] = t.Exec.Execute(jobs[i].cfg, jobs[i].size)
+		}(i)
+	}
+	wg.Wait()
+
+	set := dataset.NewSet(t.Space)
+	var clusterSec float64
+	for i, j := range jobs {
+		if times[i] <= 0 || math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+			return nil, Overhead{}, fmt.Errorf("core: execution %d returned time %v", i, times[i])
+		}
+		set.Add(j.cfg, j.size, times[i])
+		clusterSec += times[i]
+	}
+	return set, Overhead{CollectClusterHours: clusterSec / 3600}, nil
+}
+
+// Model trains the HM performance model over the collected set.
+func (t *Tuner) Model(set *dataset.Set) (model.Model, Overhead, error) {
+	opt := t.Opt.withDefaults()
+	hmOpt := opt.HM
+	if hmOpt.Seed == 0 {
+		hmOpt.Seed = opt.Seed + 1
+	}
+	if opt.RobustSearch {
+		// Robust search needs sub-model dispersion, so force the
+		// hierarchical recursion to build several first-order models.
+		if hmOpt.MaxOrder < 3 {
+			hmOpt.MaxOrder = 3
+		}
+		if hmOpt.TargetAccuracy == 0 {
+			hmOpt.TargetAccuracy = 0.999 // unreachable: always recurse to MaxOrder
+		}
+	}
+	start := time.Now()
+	m, err := hm.Train(set.ToDataset(), hmOpt)
+	if err != nil {
+		return nil, Overhead{}, fmt.Errorf("core: training: %w", err)
+	}
+	return m, Overhead{ModelTrainSec: time.Since(start).Seconds()}, nil
+}
+
+// Search runs the GA over the trained model for one target dataset size
+// and returns the best configuration, its predicted time, and the GA
+// result (for convergence analysis, Fig. 11). seedConfs optionally seeds
+// the population, as the paper does with vectors from the training set.
+func (t *Tuner) Search(m model.Model, dsizeMB float64, seedConfs [][]float64) (conf.Config, float64, ga.Result, Overhead, error) {
+	opt := t.Opt.withDefaults()
+	gaOpt := opt.GA
+	if gaOpt.Seed == 0 {
+		gaOpt.Seed = opt.Seed + 2
+	}
+	x := make([]float64, t.Space.Len()+1)
+	obj := func(cfgVec []float64) float64 {
+		copy(x, cfgVec)
+		x[len(x)-1] = dsizeMB
+		return m.Predict(x)
+	}
+	if opt.RobustSearch {
+		if um, ok := m.(UncertainModel); ok {
+			kappa := opt.RobustKappa
+			if kappa <= 0 {
+				kappa = 1
+			}
+			obj = func(cfgVec []float64) float64 {
+				copy(x, cfgVec)
+				x[len(x)-1] = dsizeMB
+				pred, std := um.PredictWithUncertainty(x)
+				return pred + kappa*std
+			}
+		}
+	}
+	start := time.Now()
+	res := ga.Minimize(t.Space, obj, seedConfs, gaOpt)
+	elapsed := time.Since(start).Seconds()
+	cfg, err := t.Space.FromVector(res.Best)
+	if err != nil {
+		return conf.Config{}, 0, res, Overhead{}, fmt.Errorf("core: search result: %w", err)
+	}
+	return cfg, res.BestFitness, res, Overhead{SearchSec: elapsed}, nil
+}
+
+// TuneResult is the outcome of an end-to-end Tune call.
+type TuneResult struct {
+	// Best maps each target dataset size (MB) to its tuned configuration.
+	Best map[float64]conf.Config
+	// PredictedSec maps each target size to the model's prediction for
+	// the tuned configuration.
+	PredictedSec map[float64]float64
+	// Set is the collected training data.
+	Set *dataset.Set
+	// Model is the trained performance model.
+	Model model.Model
+	// GA holds the searcher result per target size.
+	GA map[float64]ga.Result
+	// Overhead aggregates Table 3's costs.
+	Overhead Overhead
+}
+
+// Tune runs the full DAC pipeline: collect over [minMB, maxMB], train HM,
+// then search a configuration for every target size.
+func (t *Tuner) Tune(minMB, maxMB float64, targetsMB []float64) (*TuneResult, error) {
+	sizes := t.TrainingSizesMB(minMB, maxMB)
+	set, ovC, err := t.Collect(sizes)
+	if err != nil {
+		return nil, err
+	}
+	m, ovM, err := t.Model(set)
+	if err != nil {
+		return nil, err
+	}
+	out := &TuneResult{
+		Best:         make(map[float64]conf.Config, len(targetsMB)),
+		PredictedSec: make(map[float64]float64, len(targetsMB)),
+		GA:           make(map[float64]ga.Result, len(targetsMB)),
+		Set:          set,
+		Model:        m,
+		Overhead:     Overhead{CollectClusterHours: ovC.CollectClusterHours, ModelTrainSec: ovM.ModelTrainSec},
+	}
+	seedRng := rand.New(rand.NewSource(t.Opt.withDefaults().Seed + 5))
+	seeds := seedConfsFrom(set, t.Opt.withDefaults().GA.PopSize, seedRng)
+	for _, target := range targetsMB {
+		cfg, pred, gaRes, ovS, err := t.Search(m, target, seeds)
+		if err != nil {
+			return nil, err
+		}
+		out.Best[target] = cfg
+		out.PredictedSec[target] = pred
+		out.GA[target] = gaRes
+		out.Overhead.SearchSec += ovS.SearchSec
+	}
+	return out, nil
+}
+
+// seedConfsFrom extracts up to n configuration vectors from the training
+// set to seed the GA population, exactly as §3.3 describes: popSize
+// vectors randomly selected from S with the time element removed.
+func seedConfsFrom(set *dataset.Set, n int, rng *rand.Rand) [][]float64 {
+	if n <= 0 {
+		n = 100
+	}
+	if n > set.Len() {
+		n = set.Len()
+	}
+	perm := rng.Perm(set.Len())
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = append([]float64(nil), set.Vectors[perm[i]].Conf...)
+	}
+	return out
+}
+
+// RFHOCTuner is the paper's reimplementation of RFHOC [4] on Spark: the
+// same collect-model-search pipeline but with a random-forest model and no
+// datasize awareness — the model sees only the 41 configuration columns,
+// and one configuration is produced for the program regardless of input
+// size (§5.6 explains this is why DAC beats it on large inputs).
+type RFHOCTuner struct {
+	Space *conf.Space
+	Exec  Executor
+	Opt   Options
+	RF    rf.Options
+}
+
+// Tune collects like DAC (same budget for fairness), trains a
+// datasize-blind random forest, and searches one configuration.
+func (t *RFHOCTuner) Tune(minMB, maxMB float64) (conf.Config, error) {
+	inner := &Tuner{Space: t.Space, Exec: t.Exec, Opt: t.Opt}
+	sizes := inner.TrainingSizesMB(minMB, maxMB)
+	set, _, err := inner.Collect(sizes)
+	if err != nil {
+		return conf.Config{}, err
+	}
+	// Drop the dsize column: RFHOC's model is configuration-only.
+	ds := model.NewDataset(t.Space.Names())
+	for _, pv := range set.Vectors {
+		ds.Add(pv.Conf, pv.TimeSec)
+	}
+	rfOpt := t.RF
+	if rfOpt.Seed == 0 {
+		rfOpt.Seed = t.Opt.Seed + 3
+	}
+	forest, err := rf.Train(ds, rfOpt)
+	if err != nil {
+		return conf.Config{}, fmt.Errorf("core: rfhoc training: %w", err)
+	}
+	gaOpt := t.Opt.GA
+	if gaOpt.Seed == 0 {
+		gaOpt.Seed = t.Opt.Seed + 4
+	}
+	seedRng := rand.New(rand.NewSource(t.Opt.Seed + 6))
+	res := ga.Minimize(t.Space, func(x []float64) float64 { return forest.Predict(x) },
+		seedConfsFrom(set, gaOpt.PopSize, seedRng), gaOpt)
+	return t.Space.FromVector(res.Best)
+}

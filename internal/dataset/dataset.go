@@ -1,0 +1,130 @@
+// Package dataset holds the collecting component's output: performance
+// vectors Pv_i = {t_i, c_i1..c_in, dsize_i} (Eq. 5 in the paper), with CSV
+// persistence matching the paper's implementation (§3.4 stores the
+// training set S in a CSV file) and conversion to model.Dataset.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/conf"
+	"repro/internal/model"
+)
+
+// PerfVector is one observed execution: its time, the configuration used,
+// and the input dataset size in MB.
+type PerfVector struct {
+	// TimeSec is the measured (simulated) execution time t_i.
+	TimeSec float64
+	// Conf holds the n encoded configuration values.
+	Conf []float64
+	// DSizeMB is the input dataset size.
+	DSizeMB float64
+}
+
+// Set is an ordered collection of performance vectors over one
+// configuration space — the training set S (Eq. 6).
+type Set struct {
+	Space   *conf.Space
+	Vectors []PerfVector
+}
+
+// NewSet returns an empty set over the given space.
+func NewSet(space *conf.Space) *Set { return &Set{Space: space} }
+
+// Add appends one observation, copying the configuration vector.
+func (s *Set) Add(cfg conf.Config, dsizeMB, timeSec float64) {
+	s.Vectors = append(s.Vectors, PerfVector{
+		TimeSec: timeSec,
+		Conf:    cfg.Vector(),
+		DSizeMB: dsizeMB,
+	})
+}
+
+// Len returns the number of vectors.
+func (s *Set) Len() int { return len(s.Vectors) }
+
+// FeatureNames returns the model feature column names: the configuration
+// parameters in space order followed by "dsize".
+func (s *Set) FeatureNames() []string {
+	return append(s.Space.Names(), "dsize")
+}
+
+// ToDataset converts the set into a model design matrix with the dataset
+// size as the final feature column (the paper's key modeling decision).
+func (s *Set) ToDataset() *model.Dataset {
+	ds := model.NewDataset(s.FeatureNames())
+	row := make([]float64, s.Space.Len()+1)
+	for _, pv := range s.Vectors {
+		copy(row, pv.Conf)
+		row[len(row)-1] = pv.DSizeMB
+		ds.Add(row, pv.TimeSec)
+	}
+	return ds
+}
+
+// WriteCSV streams the set as CSV: header "t,<param names...>,dsize"
+// followed by one row per vector.
+func (s *Set) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"t"}, s.FeatureNames()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, pv := range s.Vectors {
+		if len(pv.Conf) != s.Space.Len() {
+			return fmt.Errorf("dataset: vector has %d params, space has %d", len(pv.Conf), s.Space.Len())
+		}
+		rec[0] = strconv.FormatFloat(pv.TimeSec, 'g', -1, 64)
+		for i, v := range pv.Conf {
+			rec[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(pv.DSizeMB, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a stream written by WriteCSV into a set over space.
+func ReadCSV(r io.Reader, space *conf.Space) (*Set, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	want := space.Len() + 2 // t + params + dsize
+	if len(header) != want {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), want)
+	}
+	s := NewSet(space)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		pv := PerfVector{Conf: make([]float64, space.Len())}
+		if pv.TimeSec, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d time: %w", line, err)
+		}
+		for i := range pv.Conf {
+			if pv.Conf[i], err = strconv.ParseFloat(rec[i+1], 64); err != nil {
+				return nil, fmt.Errorf("dataset: line %d param %d: %w", line, i, err)
+			}
+		}
+		if pv.DSizeMB, err = strconv.ParseFloat(rec[len(rec)-1], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d dsize: %w", line, err)
+		}
+		s.Vectors = append(s.Vectors, pv)
+	}
+	return s, nil
+}

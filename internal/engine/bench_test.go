@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkWordCount runs the real-execution WordCount over 100k words.
+func BenchmarkWordCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := make([]string, 100_000)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", rng.Intn(5000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext(Config{Parallelism: 8})
+		pairs := MapToPairs(Parallelize(ctx, words), func(w string) (string, int) { return w, 1 })
+		counts, err := ReduceByKey(pairs, func(a, b int) int { return a + b })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := counts.Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSortByKey runs the real-execution sort over 100k pairs.
+func BenchmarkSortByKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]Pair[int, int64], 100_000)
+	for i := range data {
+		data[i] = Pair[int, int64]{rng.Int(), rng.Int63()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext(Config{Parallelism: 8})
+		sorted, err := SortByKey(Parallelize(ctx, data), func(a, b int) bool { return a < b })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sorted.Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShuffleCompression isolates the serialize+compress path.
+func BenchmarkShuffleCompression(b *testing.B) {
+	rows := make([]Pair[string, int], 10_000)
+	for i := range rows {
+		rows[i] = Pair[string, int]{fmt.Sprintf("key-%d", i%500), i}
+	}
+	for _, compress := range []bool{false, true} {
+		name := "raw"
+		if compress {
+			name = "flate"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				blk, err := encodeBlock(rows, compress)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := decodeBlock[string, int](blk, compress); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dataset is a lazily computed, partitioned collection. Narrow
+// transformations stack compute closures so a chain of Maps and Filters
+// executes in one pass over each partition — the pipelining that makes
+// in-memory frameworks fast.
+type Dataset[T any] struct {
+	ctx   *Context
+	parts int
+	// compute materializes one partition.
+	compute func(p int) ([]T, error)
+	// cached holds materialized partitions after Cache().
+	cached [][]T
+}
+
+// Parallelize splits data into the context's default partition count.
+func Parallelize[T any](ctx *Context, data []T) *Dataset[T] {
+	return ParallelizeN(ctx, data, ctx.cfg.Parallelism)
+}
+
+// ParallelizeN splits data into exactly parts partitions.
+func ParallelizeN[T any](ctx *Context, data []T, parts int) *Dataset[T] {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Dataset[T]{
+		ctx:   ctx,
+		parts: parts,
+		compute: func(p int) ([]T, error) {
+			n := len(data)
+			lo, hi := p*n/parts, (p+1)*n/parts
+			return data[lo:hi], nil
+		},
+	}
+}
+
+// Generate builds a dataset whose partitions are synthesized on demand —
+// the engine-side analogue of the paper's input data generators. gen
+// receives the partition index and must be deterministic.
+func Generate[T any](ctx *Context, parts int, gen func(p int) []T) *Dataset[T] {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Dataset[T]{
+		ctx:     ctx,
+		parts:   parts,
+		compute: func(p int) ([]T, error) { return gen(p), nil },
+	}
+}
+
+// Partitions returns the partition count.
+func (d *Dataset[T]) Partitions() int { return d.parts }
+
+// Context returns the owning context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// materialize computes one partition, serving from cache when present.
+func (d *Dataset[T]) materialize(p int) ([]T, error) {
+	if d.cached != nil {
+		return d.cached[p], nil
+	}
+	if p < 0 || p >= d.parts {
+		return nil, fmt.Errorf("partition %d out of range [0,%d)", p, d.parts)
+	}
+	return d.compute(p)
+}
+
+// Map applies f to every record.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return &Dataset[U]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]U, error) {
+			in, err := d.materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out, nil
+		},
+	}
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return &Dataset[U]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]U, error) {
+			in, err := d.materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			var out []U
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out, nil
+		},
+	}
+}
+
+// Filter keeps records satisfying pred.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	return &Dataset[T]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]T, error) {
+			in, err := d.materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			var out []T
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// Cache materializes every partition now (in parallel) and serves
+// downstream computations from memory — the RDD persistence that iterative
+// workloads rely on. It returns the receiver.
+func (d *Dataset[T]) Cache() (*Dataset[T], error) {
+	if d.cached != nil {
+		return d, nil
+	}
+	cached := make([][]T, d.parts)
+	err := d.ctx.runTasks(d.parts, func(p int) error {
+		rows, err := d.compute(p)
+		if err != nil {
+			return err
+		}
+		cached[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.cached = cached
+	return d, nil
+}
+
+// Collect gathers every partition into one slice, in partition order.
+func (d *Dataset[T]) Collect() ([]T, error) {
+	parts := make([][]T, d.parts)
+	err := d.ctx.runTasks(d.parts, func(p int) error {
+		rows, err := d.materialize(p)
+		if err != nil {
+			return err
+		}
+		parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, rows := range parts {
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Count returns the total record count.
+func (d *Dataset[T]) Count() (int, error) {
+	var mu sync.Mutex
+	total := 0
+	err := d.ctx.runTasks(d.parts, func(p int) error {
+		rows, err := d.materialize(p)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		total += len(rows)
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// Reduce folds all records with the associative function f; ok is false
+// for an empty dataset.
+func Reduce[T any](d *Dataset[T], f func(T, T) T) (result T, ok bool, err error) {
+	var mu sync.Mutex
+	var acc T
+	have := false
+	err = d.ctx.runTasks(d.parts, func(p int) error {
+		rows, e := d.materialize(p)
+		if e != nil {
+			return e
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		local := rows[0]
+		for _, v := range rows[1:] {
+			local = f(local, v)
+		}
+		mu.Lock()
+		if have {
+			acc = f(acc, local)
+		} else {
+			acc, have = local, true
+		}
+		mu.Unlock()
+		return nil
+	})
+	return acc, have, err
+}
+
+// Pair is a key-value record, the currency of wide operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// MapToPairs turns records into key-value pairs.
+func MapToPairs[T any, K comparable, V any](d *Dataset[T], f func(T) (K, V)) *Dataset[Pair[K, V]] {
+	return Map(d, func(t T) Pair[K, V] {
+		k, v := f(t)
+		return Pair[K, V]{Key: k, Value: v}
+	})
+}
+
+// sortPairs orders a partition by key using less.
+func sortPairs[K comparable, V any](rows []Pair[K, V], less func(a, b K) bool) {
+	sort.Slice(rows, func(i, j int) bool { return less(rows[i].Key, rows[j].Key) })
+}

@@ -1,0 +1,165 @@
+package engine
+
+import "math/rand"
+
+// GroupByKey gathers all values per key. Prefer ReduceByKey when the
+// downstream only needs an aggregate — grouping materializes every value.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) (*Dataset[Pair[K, []V]], error) {
+	ctx := d.ctx
+	reduceParts := ctx.cfg.Parallelism
+	store, err := shuffleWrite(d, reduceParts, func(k K) int {
+		return int(hashKey(k) % uint64(reduceParts))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset[Pair[K, []V]]{
+		ctx:   ctx,
+		parts: reduceParts,
+		compute: func(p int) ([]Pair[K, []V], error) {
+			rows, err := shuffleRead[K, V](ctx, store, p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K][]V)
+			for _, kv := range rows {
+				m[kv.Key] = append(m[kv.Key], kv.Value)
+			}
+			out := make([]Pair[K, []V], 0, len(m))
+			for k, vs := range m {
+				out = append(out, Pair[K, []V]{k, vs})
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// CoGrouped is one key's values from both sides of a cogroup.
+type CoGrouped[V, W any] struct {
+	Left  []V
+	Right []W
+}
+
+// CoGroup shuffles both datasets with the same partitioner and gathers
+// each key's values from both sides — the primitive under joins.
+func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, CoGrouped[V, W]]], error) {
+	ctx := a.ctx
+	reduceParts := ctx.cfg.Parallelism
+	part := func(k K) int { return int(hashKey(k) % uint64(reduceParts)) }
+	storeA, err := shuffleWrite(a, reduceParts, part)
+	if err != nil {
+		return nil, err
+	}
+	storeB, err := shuffleWrite(b, reduceParts, part)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset[Pair[K, CoGrouped[V, W]]]{
+		ctx:   ctx,
+		parts: reduceParts,
+		compute: func(p int) ([]Pair[K, CoGrouped[V, W]], error) {
+			left, err := shuffleRead[K, V](ctx, storeA, p)
+			if err != nil {
+				return nil, err
+			}
+			right, err := shuffleRead[K, W](ctx, storeB, p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K]*CoGrouped[V, W])
+			for _, kv := range left {
+				g := m[kv.Key]
+				if g == nil {
+					g = &CoGrouped[V, W]{}
+					m[kv.Key] = g
+				}
+				g.Left = append(g.Left, kv.Value)
+			}
+			for _, kw := range right {
+				g := m[kw.Key]
+				if g == nil {
+					g = &CoGrouped[V, W]{}
+					m[kw.Key] = g
+				}
+				g.Right = append(g.Right, kw.Value)
+			}
+			out := make([]Pair[K, CoGrouped[V, W]], 0, len(m))
+			for k, g := range m {
+				out = append(out, Pair[K, CoGrouped[V, W]]{k, *g})
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// Joined is one matched pair of an inner join.
+type Joined[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join inner-joins two pair datasets on their keys: every (v, w)
+// combination of a key's left and right values is emitted — the hash-join
+// PageRank's contribution step needs.
+func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[V, W]]], error) {
+	cg, err := CoGroup(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return FlatMap(cg, func(kv Pair[K, CoGrouped[V, W]]) []Pair[K, Joined[V, W]] {
+		var out []Pair[K, Joined[V, W]]
+		for _, v := range kv.Value.Left {
+			for _, w := range kv.Value.Right {
+				out = append(out, Pair[K, Joined[V, W]]{kv.Key, Joined[V, W]{v, w}})
+			}
+		}
+		return out
+	}), nil
+}
+
+// Distinct removes duplicate records (via a shuffle on the record itself).
+func Distinct[T comparable](d *Dataset[T]) (*Dataset[T], error) {
+	pairs := MapToPairs(d, func(t T) (T, struct{}) { return t, struct{}{} })
+	reduced, err := ReduceByKey(pairs, func(a, b struct{}) struct{} { return a })
+	if err != nil {
+		return nil, err
+	}
+	return Map(reduced, func(kv Pair[T, struct{}]) T { return kv.Key }), nil
+}
+
+// Union concatenates two datasets (no shuffle; partitions are appended).
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	return &Dataset[T]{
+		ctx:   a.ctx,
+		parts: a.parts + b.parts,
+		compute: func(p int) ([]T, error) {
+			if p < a.parts {
+				return a.materialize(p)
+			}
+			return b.materialize(p - a.parts)
+		},
+	}
+}
+
+// Sample keeps each record with probability frac, deterministically per
+// partition for a given seed.
+func Sample[T any](d *Dataset[T], frac float64, seed int64) *Dataset[T] {
+	return &Dataset[T]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]T, error) {
+			rows, err := d.materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed + int64(p)))
+			var out []T
+			for _, v := range rows {
+				if rng.Float64() < frac {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}

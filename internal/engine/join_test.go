@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestGroupByKey(t *testing.T) {
+	ctx := testCtx()
+	data := []Pair[string, int]{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"a", 5}}
+	grouped, err := GroupByKey(Parallelize(ctx, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := grouped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string][]int{}
+	for _, kv := range rows {
+		sort.Ints(kv.Value)
+		byKey[kv.Key] = kv.Value
+	}
+	if len(byKey["a"]) != 3 || byKey["a"][0] != 1 || byKey["a"][2] != 5 {
+		t.Fatalf("group a = %v", byKey["a"])
+	}
+	if len(byKey["b"]) != 1 || len(byKey["c"]) != 1 {
+		t.Fatalf("groups = %v", byKey)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	ctx := testCtx()
+	links := []Pair[string, string]{{"p1", "p2"}, {"p1", "p3"}, {"p2", "p1"}}
+	ranks := []Pair[string, float64]{{"p1", 0.5}, {"p2", 0.3}, {"p9", 9.9}}
+	joined, err := Join(Parallelize(ctx, links), Parallelize(ctx, ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := joined.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 matches twice (two outlinks), p2 once, p9 not at all (no left).
+	if len(rows) != 3 {
+		t.Fatalf("join produced %d rows, want 3: %v", len(rows), rows)
+	}
+	for _, kv := range rows {
+		switch kv.Key {
+		case "p1":
+			if kv.Value.Right != 0.5 {
+				t.Errorf("p1 joined rank %v", kv.Value.Right)
+			}
+		case "p2":
+			if kv.Value.Right != 0.3 || kv.Value.Left != "p1" {
+				t.Errorf("p2 join row %+v", kv.Value)
+			}
+		default:
+			t.Errorf("unexpected key %q", kv.Key)
+		}
+	}
+}
+
+func TestCoGroupKeepsUnmatched(t *testing.T) {
+	ctx := testCtx()
+	a := Parallelize(ctx, []Pair[int, string]{{1, "x"}, {2, "y"}})
+	b := Parallelize(ctx, []Pair[int, int]{{2, 20}, {3, 30}})
+	cg, err := CoGroup(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("cogroup has %d keys, want 3", len(rows))
+	}
+	for _, kv := range rows {
+		switch kv.Key {
+		case 1:
+			if len(kv.Value.Left) != 1 || len(kv.Value.Right) != 0 {
+				t.Errorf("key 1: %+v", kv.Value)
+			}
+		case 2:
+			if len(kv.Value.Left) != 1 || len(kv.Value.Right) != 1 {
+				t.Errorf("key 2: %+v", kv.Value)
+			}
+		case 3:
+			if len(kv.Value.Left) != 0 || len(kv.Value.Right) != 1 {
+				t.Errorf("key 3: %+v", kv.Value)
+			}
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := testCtx()
+	d, err := Distinct(Parallelize(ctx, []int{1, 2, 2, 3, 1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(out)
+	if len(out) != 3 || out[0] != 1 || out[2] != 3 {
+		t.Fatalf("Distinct = %v", out)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ctx := testCtx()
+	u := Union(Parallelize(ctx, []int{1, 2}), Parallelize(ctx, []int{3}))
+	out, err := u.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(out)
+	if len(out) != 3 || out[0] != 1 || out[2] != 3 {
+		t.Fatalf("Union = %v", out)
+	}
+}
+
+func TestSample(t *testing.T) {
+	ctx := testCtx()
+	data := make([]int, 10_000)
+	for i := range data {
+		data[i] = i
+	}
+	s := Sample(Parallelize(ctx, data), 0.1, 1)
+	n, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 700 || n > 1300 {
+		t.Fatalf("10%% sample of 10k kept %d", n)
+	}
+	// Determinism.
+	n2, _ := s.Count()
+	if n2 != n {
+		t.Fatalf("sample not deterministic: %d vs %d", n, n2)
+	}
+}

@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"hash/maphash"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// segment is one serialized block of pairs destined for a reduce
+// partition: either resident bytes or a slice of a spill file.
+type segment struct {
+	data []byte // in-memory block (nil when spilled)
+	path string // spill file (when data == nil)
+	off  int64
+	len  int64
+}
+
+// shuffleStore holds the map output of one shuffle: segments[r] lists the
+// blocks reduce partition r must fetch.
+type shuffleStore struct {
+	mu       sync.Mutex
+	segments [][]segment
+	spills   []string // temp files to remove on Close
+}
+
+func newShuffleStore(reduceParts int) *shuffleStore {
+	return &shuffleStore{segments: make([][]segment, reduceParts)}
+}
+
+func (s *shuffleStore) add(r int, seg segment) {
+	s.mu.Lock()
+	s.segments[r] = append(s.segments[r], seg)
+	s.mu.Unlock()
+}
+
+func (s *shuffleStore) addSpill(path string) {
+	s.mu.Lock()
+	s.spills = append(s.spills, path)
+	s.mu.Unlock()
+}
+
+// Close removes spill files.
+func (s *shuffleStore) Close() {
+	for _, p := range s.spills {
+		os.Remove(p)
+	}
+	s.spills = nil
+}
+
+// encodeBlock serializes pairs with gob, optionally flate-compressed.
+func encodeBlock[K comparable, V any](rows []Pair[K, V], compress bool) ([]byte, error) {
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	var fw *flate.Writer
+	if compress {
+		var err error
+		fw, err = flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		w = fw
+	}
+	if err := gob.NewEncoder(w).Encode(rows); err != nil {
+		return nil, err
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBlock reverses encodeBlock.
+func decodeBlock[K comparable, V any](data []byte, compress bool) ([]Pair[K, V], error) {
+	var r io.Reader = bytes.NewReader(data)
+	if compress {
+		fr := flate.NewReader(r)
+		defer fr.Close()
+		r = fr
+	}
+	var rows []Pair[K, V]
+	if err := gob.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// shuffleWrite executes the map side: every parent partition's pairs are
+// bucketed by partitioner, serialized, and either kept in memory or
+// spilled when the per-task buffer exceeds the budget.
+func shuffleWrite[K comparable, V any](d *Dataset[Pair[K, V]], reduceParts int, partitioner func(K) int) (*shuffleStore, error) {
+	ctx := d.ctx
+	store := newShuffleStore(reduceParts)
+	budget := int64(0)
+	if ctx.cfg.ShuffleMemoryMB > 0 {
+		budget = int64(ctx.cfg.ShuffleMemoryMB) * 1024 * 1024 / int64(ctx.cfg.Workers)
+	}
+	err := ctx.runTasks(d.parts, func(p int) error {
+		rows, err := d.materialize(p)
+		if err != nil {
+			return err
+		}
+		buckets := make([][]Pair[K, V], reduceParts)
+		for _, kv := range rows {
+			r := partitioner(kv.Key)
+			if r < 0 || r >= reduceParts {
+				return fmt.Errorf("partitioner sent key %v to %d of %d", kv.Key, r, reduceParts)
+			}
+			buckets[r] = append(buckets[r], kv)
+		}
+		// Serialize each bucket; spill the task's output when over
+		// budget.
+		var taskBytes int64
+		encoded := make([][]byte, reduceParts)
+		for r, b := range buckets {
+			if len(b) == 0 {
+				continue
+			}
+			blk, err := encodeBlock(b, ctx.cfg.CompressShuffle)
+			if err != nil {
+				return err
+			}
+			encoded[r] = blk
+			taskBytes += int64(len(blk))
+		}
+		ctx.addShuffleWrite(taskBytes)
+		if budget > 0 && taskBytes > budget {
+			return spillTask(ctx, store, encoded)
+		}
+		for r, blk := range encoded {
+			if blk != nil {
+				store.add(r, segment{data: blk})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	ctx.trackStore(store)
+	return store, nil
+}
+
+// spillTask writes one map task's encoded buckets to a single temp file
+// with per-bucket offsets.
+func spillTask(ctx *Context, store *shuffleStore, encoded [][]byte) error {
+	f, err := os.CreateTemp(ctx.cfg.TempDir, "engine-spill-*.shuffle")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store.addSpill(f.Name())
+	var off int64
+	for r, blk := range encoded {
+		if blk == nil {
+			continue
+		}
+		n, err := f.Write(blk)
+		if err != nil {
+			return err
+		}
+		store.add(r, segment{path: f.Name(), off: off, len: int64(n)})
+		off += int64(n)
+	}
+	ctx.addSpill(off)
+	return nil
+}
+
+// shuffleRead fetches and decodes reduce partition r's segments.
+func shuffleRead[K comparable, V any](ctx *Context, store *shuffleStore, r int) ([]Pair[K, V], error) {
+	var out []Pair[K, V]
+	for _, seg := range store.segments[r] {
+		data := seg.data
+		if data == nil {
+			f, err := os.Open(seg.path)
+			if err != nil {
+				return nil, err
+			}
+			data = make([]byte, seg.len)
+			if _, err := f.ReadAt(data, seg.off); err != nil {
+				f.Close()
+				return nil, err
+			}
+			f.Close()
+		}
+		ctx.addShuffleRead(int64(len(data)))
+		rows, err := decodeBlock[K, V](data, ctx.cfg.CompressShuffle)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// hashSeed makes hash partitioning stable within a process.
+var hashSeed = maphash.MakeSeed()
+
+// hashKey hashes any comparable key via its gob encoding — slow but
+// general; string and integer keys take fast paths.
+func hashKey[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case string:
+		return maphash.String(hashSeed, v)
+	case int:
+		return uint64(v) * 0x9E3779B97F4A7C15
+	case int64:
+		return uint64(v) * 0x9E3779B97F4A7C15
+	case uint64:
+		return v * 0x9E3779B97F4A7C15
+	default:
+		var buf bytes.Buffer
+		gob.NewEncoder(&buf).Encode(k)
+		h := fnv.New64a()
+		h.Write(buf.Bytes())
+		return h.Sum64()
+	}
+}
+
+// ReduceByKey combines values per key with the associative function f:
+// a map-side combine, a hash shuffle, and a reduce-side merge. The result
+// has the context's default parallelism. Wide operations execute their
+// shuffle eagerly; the reduce side stays lazy per partition.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f func(V, V) V) (*Dataset[Pair[K, V]], error) {
+	ctx := d.ctx
+	reduceParts := ctx.cfg.Parallelism
+
+	// Map-side combine shrinks shuffle volume, like Spark's combiners.
+	combined := &Dataset[Pair[K, V]]{
+		ctx:   ctx,
+		parts: d.parts,
+		compute: func(p int) ([]Pair[K, V], error) {
+			rows, err := d.materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K]V, len(rows))
+			for _, kv := range rows {
+				if old, ok := m[kv.Key]; ok {
+					m[kv.Key] = f(old, kv.Value)
+				} else {
+					m[kv.Key] = kv.Value
+				}
+			}
+			out := make([]Pair[K, V], 0, len(m))
+			for k, v := range m {
+				out = append(out, Pair[K, V]{k, v})
+			}
+			return out, nil
+		},
+	}
+
+	store, err := shuffleWrite(combined, reduceParts, func(k K) int {
+		return int(hashKey(k) % uint64(reduceParts))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset[Pair[K, V]]{
+		ctx:   ctx,
+		parts: reduceParts,
+		compute: func(p int) ([]Pair[K, V], error) {
+			rows, err := shuffleRead[K, V](ctx, store, p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K]V, len(rows))
+			for _, kv := range rows {
+				if old, ok := m[kv.Key]; ok {
+					m[kv.Key] = f(old, kv.Value)
+				} else {
+					m[kv.Key] = kv.Value
+				}
+			}
+			out := make([]Pair[K, V], 0, len(m))
+			for k, v := range m {
+				out = append(out, Pair[K, V]{k, v})
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// SortByKey globally sorts the pairs: sampled range partitioning (like
+// TeraSort's Stage1), a shuffle, and a per-partition sort. Partition i's
+// keys all order before partition i+1's.
+func SortByKey[K comparable, V any](d *Dataset[Pair[K, V]], less func(a, b K) bool) (*Dataset[Pair[K, V]], error) {
+	ctx := d.ctx
+	reduceParts := ctx.cfg.Parallelism
+
+	// Sample keys to choose splitters.
+	splitters, err := sampleSplitters(d, reduceParts, less)
+	if err != nil {
+		return nil, err
+	}
+	part := func(k K) int {
+		// First splitter not less than k.
+		i := sort.Search(len(splitters), func(i int) bool { return !less(splitters[i], k) })
+		return i
+	}
+	store, err := shuffleWrite(d, reduceParts, part)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset[Pair[K, V]]{
+		ctx:   ctx,
+		parts: reduceParts,
+		compute: func(p int) ([]Pair[K, V], error) {
+			rows, err := shuffleRead[K, V](ctx, store, p)
+			if err != nil {
+				return nil, err
+			}
+			sortPairs(rows, less)
+			return rows, nil
+		},
+	}, nil
+}
+
+// sampleSplitters draws up to 64 keys per partition and returns
+// reduceParts-1 splitters.
+func sampleSplitters[K comparable, V any](d *Dataset[Pair[K, V]], reduceParts int, less func(a, b K) bool) ([]K, error) {
+	var mu sync.Mutex
+	var sample []K
+	err := d.ctx.runTasks(d.parts, func(p int) error {
+		rows, err := d.materialize(p)
+		if err != nil {
+			return err
+		}
+		step := len(rows)/64 + 1
+		mu.Lock()
+		for i := 0; i < len(rows); i += step {
+			sample = append(sample, rows[i].Key)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
+	splitters := make([]K, 0, reduceParts-1)
+	for i := 1; i < reduceParts; i++ {
+		idx := i * len(sample) / reduceParts
+		if idx < len(sample) {
+			splitters = append(splitters, sample[idx])
+		}
+	}
+	return splitters, nil
+}
+
+// CountByKey returns the number of records per key.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]int, error) {
+	counts, err := ReduceByKey(Map(d, func(kv Pair[K, V]) Pair[K, int] {
+		return Pair[K, int]{kv.Key, 1}
+	}), func(a, b int) int { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	rows, err := counts.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int, len(rows))
+	for _, kv := range rows {
+		out[kv.Key] = kv.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TextFile reads a file as a dataset of lines, split into byte-range
+// partitions of roughly splitMB each (like HDFS blocks feeding one task
+// per split). Each partition re-opens the file and scans only its range,
+// extending past the boundary to finish its last line — the standard
+// input-split contract.
+func TextFile(ctx *Context, path string, splitMB int) (*Dataset[string], error) {
+	if splitMB < 1 {
+		splitMB = 32
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	splitBytes := int64(splitMB) << 20
+	parts := int((info.Size() + splitBytes - 1) / splitBytes)
+	if parts < 1 {
+		parts = 1
+	}
+	return &Dataset[string]{
+		ctx:   ctx,
+		parts: parts,
+		compute: func(p int) ([]string, error) {
+			return readSplit(path, int64(p)*splitBytes, splitBytes, p == 0)
+		},
+	}, nil
+}
+
+// readSplit scans [off, off+length) of the file, yielding whole lines.
+// Any partial line at the start belongs to the previous split (unless this
+// is the first); the line straddling the end is completed past the bound.
+func readSplit(path string, off, length int64, first bool) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, 0); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(f, 256<<10)
+	var consumed int64
+	if !first {
+		// Skip the partial line owned by the previous split.
+		skipped, err := r.ReadString('\n')
+		consumed += int64(len(skipped))
+		if err != nil {
+			return nil, nil // split begins past the last newline
+		}
+	}
+	var lines []string
+	for consumed < length {
+		line, err := r.ReadString('\n')
+		if len(line) > 0 {
+			consumed += int64(len(line))
+			lines = append(lines, strings.TrimRight(line, "\n"))
+		}
+		if err != nil {
+			break // EOF
+		}
+	}
+	return lines, nil
+}
+
+// SaveAsTextFile writes the dataset as one part-NNNNN file per partition
+// under dir (created if needed), mirroring the output layout of the
+// cluster frameworks.
+func SaveAsTextFile(d *Dataset[string], dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return d.ctx.runTasks(d.parts, func(p int) error {
+		rows, err := d.materialize(p)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%05d", p)))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, line := range rows {
+			if _, err := w.WriteString(line); err != nil {
+				f.Close()
+				return err
+			}
+			if err := w.WriteByte('\n'); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+}
+
+// ReadTextDir reads back a SaveAsTextFile directory in part order,
+// returning all lines.
+func ReadTextDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "part-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var lines []string
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line != "" {
+				lines = append(lines, line)
+			}
+		}
+	}
+	return lines, nil
+}

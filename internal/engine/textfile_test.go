@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func writeLines(t *testing.T, lines []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "input.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTextFileReadsEveryLineOnce(t *testing.T) {
+	lines := make([]string, 5000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line-%06d with some padding to span splits", i)
+	}
+	path := writeLines(t, lines)
+	ctx := testCtx()
+	// A tiny split size forces many partitions with lines straddling
+	// boundaries.
+	ds, err := TextFile(ctx, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := append([]string(nil), lines...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("split reading lost or duplicated lines: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestTextFileMissing(t *testing.T) {
+	if _, err := TextFile(testCtx(), "/does/not/exist", 1); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestSaveAndReadBack(t *testing.T) {
+	ctx := testCtx()
+	lines := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := SaveAsTextFile(Parallelize(ctx, lines), dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // one part file per partition
+		t.Fatalf("got %d part files, want 4", len(entries))
+	}
+	back, err := ReadTextDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, lines) {
+		t.Fatalf("read back %v, want %v", back, lines)
+	}
+}
+
+func TestEndToEndFilePipeline(t *testing.T) {
+	// File in -> word count -> file out, the classic.
+	text := strings.Repeat("to be or not to be\n", 100)
+	path := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx()
+	linesDS, err := TextFile(ctx, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := FlatMap(linesDS, strings.Fields)
+	counts, err := ReduceByKey(MapToPairs(words, func(w string) (string, int) { return w, 1 }),
+		func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := Map(counts, func(kv Pair[string, int]) string {
+		return fmt.Sprintf("%s\t%d", kv.Key, kv.Value)
+	})
+	outDir := filepath.Join(t.TempDir(), "wc-out")
+	if err := SaveAsTextFile(rendered, outDir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTextDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, line := range back {
+		found[line] = true
+	}
+	if !found["to\t200"] || !found["be\t200"] || !found["or\t100"] {
+		t.Fatalf("unexpected counts: %v", back)
+	}
+}

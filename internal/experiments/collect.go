@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// collect gathers n performance vectors for workload w: random
+// configurations over ten dataset sizes spanning slightly beyond the
+// Table 1 range (so the model interpolates rather than extrapolates at
+// the evaluation sizes). Runs execute concurrently but the collected set
+// is deterministic in (simSeed, seed).
+func collect(sc Scale, w *workloads.Workload, n int, simSeed, seed int64) *dataset.Set {
+	sim := sparksim.New(sc.Cluster, simSeed)
+	space := conf.StandardSpace()
+	rng := rand.New(rand.NewSource(seed))
+
+	sizes := trainingSizes(w)
+	type job struct {
+		cfg conf.Config
+		mb  float64
+	}
+	jobs := make([]job, n)
+	for i := range jobs {
+		jobs[i] = job{cfg: space.Random(rng), mb: sizes[i%len(sizes)]}
+	}
+	times := make([]float64, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			times[i] = sim.Run(&w.Program, jobs[i].mb, jobs[i].cfg).TotalSec
+		}(i)
+	}
+	wg.Wait()
+
+	set := dataset.NewSet(space)
+	for i, j := range jobs {
+		set.Add(j.cfg, j.mb, times[i])
+	}
+	return set
+}
+
+// trainingSizes returns the m=10 training dataset sizes (MB) for w,
+// geometrically spaced over [0.8·min, 1.1·max] so consecutive sizes
+// differ by ≥10% (Eq. 4).
+func trainingSizes(w *workloads.Workload) []float64 {
+	lo := w.InputMB(w.Sizes[0]) * 0.8
+	hi := w.InputMB(w.Sizes[len(w.Sizes)-1]) * 1.1
+	const m = 10
+	ratio := math.Pow(hi/lo, 1.0/(m-1))
+	sizes := make([]float64, m)
+	v := lo
+	for i := range sizes {
+		sizes[i] = v
+		v *= ratio
+	}
+	return sizes
+}
+
+// collectDataset is collect followed by conversion to a model dataset.
+func collectDataset(sc Scale, w *workloads.Workload, n int, simSeed, seed int64) *model.Dataset {
+	return collect(sc, w, n, simSeed, seed).ToDataset()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/kvsim"
+)
+
+// ExtRow is one dataset size of the §2.1 generality extension: the
+// key-value store tuned by the identical pipeline.
+type ExtRow struct {
+	TableGB    float64
+	DefaultSec float64
+	TunedSec   float64
+	Speedup    float64
+}
+
+// Extension tunes the HBase-style key-value store for a read-heavy
+// workload at several table sizes and measures against the store's
+// defaults — the paper's claim that DAC's principles transfer to other
+// heavily-configurable systems.
+func Extension(sc Scale) []ExtRow {
+	w := kvsim.ReadHeavy()
+	trainSim := kvsim.New(42)
+	space := kvsim.Space()
+	tuner := &core.Tuner{
+		Space: space,
+		Exec: core.ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
+			return trainSim.Run(w, dsizeMB, cfg)
+		}),
+		Opt: core.Options{NTrain: sc.NTrain, HM: sc.HM, GA: sc.GA, Seed: sc.Seed},
+	}
+	sizesGB := []float64{20, 60, 120, 200}
+	targets := make([]float64, len(sizesGB))
+	for i, gb := range sizesGB {
+		targets[i] = gb * 1024
+	}
+	res, err := tuner.Tune(10*1024, 250*1024, targets)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: extension tuning: %v", err))
+	}
+	evalSim := kvsim.New(77)
+	def := space.Default()
+	rows := make([]ExtRow, 0, len(sizesGB))
+	for i, mb := range targets {
+		d := evalSim.Run(w, mb, def)
+		tu := evalSim.Run(w, mb, res.Best[mb])
+		rows = append(rows, ExtRow{TableGB: sizesGB[i], DefaultSec: d, TunedSec: tu, Speedup: d / tu})
+	}
+	return rows
+}
+
+// RenderExtension prints the extension's comparison table.
+func RenderExtension(rows []ExtRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %14s %10s\n", "table", "default (s)", "DAC-tuned (s)", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7.0f GB %14.1f %14.1f %9.2fx\n", r.TableGB, r.DefaultSec, r.TunedSec, r.Speedup)
+	}
+	return b.String()
+}

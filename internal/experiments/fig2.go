@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/hadoopsim"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// Fig2Row is one bar pair of the motivation figure: a framework-program
+// pair's execution time variation (Eq. 1) under its two input sizes.
+type Fig2Row struct {
+	Name         string  // e.g. "Spark-KM"
+	TvarInput1   float64 // seconds
+	TvarInput2   float64
+	GrowthFactor float64 // TvarInput2 / TvarInput1 — the paper's headline ratios
+}
+
+// Fig2 reproduces the §2.2.1 motivation study: run KMeans and PageRank on
+// both frameworks with the two motivation input sizes under n random
+// configurations each, and report the execution-time variation Tvar
+// (Eq. 1: mean gap to the maximum observed time).
+func Fig2(sc Scale) []Fig2Row {
+	n := sc.Fig2Runs
+	sparkSim := sparksim.New(sc.Cluster, sc.Seed)
+	hadoopSim := hadoopsim.New(sc.Cluster, sc.Seed)
+	sparkSpace := conf.StandardSpace()
+	hadoopSpace := hadoopsim.Space()
+
+	km, _ := workloads.ByAbbr("KM")
+	pr, _ := workloads.ByAbbr("PR")
+
+	rows := []Fig2Row{
+		{Name: "Spark-KM"}, {Name: "Hadoop-KM"},
+		{Name: "Spark-PR"}, {Name: "Hadoop-PR"},
+	}
+	sparkTimes := func(w *workloads.Workload, units float64, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = sparkSim.Run(&w.Program, w.InputMB(units), sparkSpace.Random(rng)).TotalSec
+		}
+		return out
+	}
+	hadoopTimes := func(job hadoopsim.Job, mb float64, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = hadoopSim.Run(job, mb, hadoopSpace.Random(rng))
+		}
+		return out
+	}
+
+	// The paper runs the same 200 random configurations on both input
+	// sizes, so each framework-program pair reuses one configuration
+	// stream (same seed) across its two sizes.
+	rows[0].TvarInput1 = tvar(sparkTimes(km, km.MotivationSizes[0], sc.Seed+1))
+	rows[0].TvarInput2 = tvar(sparkTimes(km, km.MotivationSizes[1], sc.Seed+1))
+	rows[1].TvarInput1 = tvar(hadoopTimes(hadoopsim.KMeansJob(), km.InputMB(km.MotivationSizes[0]), sc.Seed+2))
+	rows[1].TvarInput2 = tvar(hadoopTimes(hadoopsim.KMeansJob(), km.InputMB(km.MotivationSizes[1]), sc.Seed+2))
+	rows[2].TvarInput1 = tvar(sparkTimes(pr, pr.MotivationSizes[0], sc.Seed+3))
+	rows[2].TvarInput2 = tvar(sparkTimes(pr, pr.MotivationSizes[1], sc.Seed+3))
+	rows[3].TvarInput1 = tvar(hadoopTimes(hadoopsim.PageRankJob(), pr.InputMB(pr.MotivationSizes[0]), sc.Seed+4))
+	rows[3].TvarInput2 = tvar(hadoopTimes(hadoopsim.PageRankJob(), pr.InputMB(pr.MotivationSizes[1]), sc.Seed+4))
+	for i := range rows {
+		if rows[i].TvarInput1 > 0 {
+			rows[i].GrowthFactor = rows[i].TvarInput2 / rows[i].TvarInput1
+		}
+	}
+	return rows
+}
+
+// tvar is Eq. 1: the mean gap between the maximum execution time and each
+// observed execution time.
+func tvar(times []float64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	max := times[0]
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	sum := 0.0
+	for _, t := range times {
+		sum += max - t
+	}
+	return sum / float64(len(times))
+}
+
+// RenderFig2 prints the rows the way the figure's bars read.
+func RenderFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s\n", "pair", "Tvar(in1) s", "Tvar(in2) s", "in2/in1")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %8.2fx\n", r.Name, r.TvarInput1, r.TvarInput2, r.GrowthFactor)
+	}
+	return b.String()
+}

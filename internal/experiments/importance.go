@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hm"
+	"repro/internal/workloads"
+)
+
+// ImportanceRow is one feature's share of a workload's HM split gain.
+type ImportanceRow struct {
+	Feature string
+	Share   float64
+}
+
+// Importance is an analysis beyond the paper's figures: it trains the HM
+// model per workload and reports which of the 41 parameters (plus dsize)
+// carry the predictive power. It quantifies two of the paper's claims —
+// that the dsize column matters (§1) and that a handful of parameters such
+// as executor memory and cores "significantly affect performance" (§2.1) —
+// and echoes the related-work observation (Xu et al. [53]) that many knobs
+// barely matter.
+func Importance(sc Scale, abbr string, topN int) []ImportanceRow {
+	w, err := workloads.ByAbbr(abbr)
+	if err != nil {
+		return nil
+	}
+	ds := collectDataset(sc, w, sc.NTrain, 42, sc.Seed)
+	opt := sc.HM
+	opt.Seed = sc.Seed + 21
+	m, err := hm.Train(ds, opt)
+	if err != nil {
+		return nil
+	}
+	imp := m.FeatureImportance()
+	rows := make([]ImportanceRow, len(imp))
+	for i, v := range imp {
+		rows[i] = ImportanceRow{Feature: ds.Names[i], Share: v}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Share > rows[j].Share })
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// RenderImportance prints the ranked importance table.
+func RenderImportance(abbr string, rows []ImportanceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: top parameters by HM split gain\n", abbr)
+	for i, r := range rows {
+		fmt.Fprintf(&b, "  %2d. %-45s %5.1f%%\n", i+1, r.Feature, r.Share*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// NaiveRow is one budget point of the naive-search study: running real
+// (simulated-cluster) executions with random configurations and keeping
+// the best, versus DAC's model-guided approach.
+type NaiveRow struct {
+	Budget       int     // executions spent
+	ClusterHours float64 // accumulated cluster time
+	BestSec      float64 // best measured execution time found
+}
+
+// Naive quantifies §1's claim that exhaustively executing configurations
+// is infeasible: each row doubles the execution budget of a best-of-N
+// random search on the cluster and reports the cluster time it burns and
+// the best configuration quality it reaches. DAC's numbers (same workload,
+// Table 3 pipeline) are the yardstick the render prints alongside.
+func Naive(sc Scale, abbr string, budgets []int) []NaiveRow {
+	w, err := workloads.ByAbbr(abbr)
+	if err != nil {
+		return nil
+	}
+	sim := sparksim.New(sc.Cluster, 42)
+	space := conf.StandardSpace()
+	rng := rand.New(rand.NewSource(sc.Seed + 41))
+	targetMB := w.SizesMB()[2]
+
+	maxBudget := 0
+	for _, b := range budgets {
+		if b > maxBudget {
+			maxBudget = b
+		}
+	}
+	rows := make([]NaiveRow, 0, len(budgets))
+	next := 0
+	clusterSec, best := 0.0, 0.0
+	for i := 1; i <= maxBudget; i++ {
+		t := sim.Run(&w.Program, targetMB, space.Random(rng)).TotalSec
+		clusterSec += t
+		if best == 0 || t < best {
+			best = t
+		}
+		for next < len(budgets) && budgets[next] == i {
+			rows = append(rows, NaiveRow{Budget: i, ClusterHours: clusterSec / 3600, BestSec: best})
+			next++
+		}
+	}
+	return rows
+}
+
+// RenderNaive prints the budget sweep.
+func RenderNaive(abbr string, rows []NaiveRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: naive best-of-N search on the cluster\n", abbr)
+	fmt.Fprintf(&b, "  %8s %16s %14s\n", "runs", "cluster hours", "best (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %8d %16.1f %14.1f\n", r.Budget, r.ClusterHours, r.BestSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2.2, §5) on the simulated substrate. Each experiment
+// returns a structured result plus a printable rendering with the same
+// rows/series the paper reports; cmd/experiments is the CLI front end and
+// the repository's benchmarks run reduced-scale versions.
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ga"
+	"repro/internal/hm"
+)
+
+// Scale sets the experiment fidelity. FullScale reproduces the paper's
+// settings; QuickScale is sized for benchmarks and smoke tests.
+type Scale struct {
+	// NTrain and NTest size the collected training and testing sets
+	// (paper: 2000 and 500).
+	NTrain int
+	NTest  int
+	// Fig2Runs is the number of random configurations in the motivation
+	// study (paper: 200).
+	Fig2Runs int
+	// HM configures the performance model.
+	HM hm.Options
+	// GA configures the searcher.
+	GA ga.Options
+	// Seed fixes all randomness.
+	Seed int64
+	// Cluster is the modelled hardware.
+	Cluster cluster.Cluster
+}
+
+// FullScale returns the paper's experimental settings (§4, §5.1, §5.2).
+func FullScale() Scale {
+	return Scale{
+		NTrain:   2000,
+		NTest:    500,
+		Fig2Runs: 200,
+		HM:       hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5},
+		GA:       ga.Options{PopSize: 100, Generations: 100},
+		Seed:     1,
+		Cluster:  cluster.Standard(),
+	}
+}
+
+// QuickScale returns a reduced-cost variant that preserves every
+// experiment's structure: smaller training sets, shorter boosting runs,
+// and a lighter GA.
+func QuickScale() Scale {
+	return Scale{
+		NTrain:   400,
+		NTest:    120,
+		Fig2Runs: 40,
+		HM:       hm.Options{Trees: 400, LearningRate: 0.1, TreeComplexity: 5},
+		GA:       ga.Options{PopSize: 40, Generations: 30},
+		Seed:     1,
+		Cluster:  cluster.Standard(),
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/workloads"
+)
+
+// Table1 renders the experimented applications and their five input
+// dataset sizes (paper Table 1).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-5s %s\n", "Application", "Abbr.", "input data size")
+	for _, w := range workloads.All() {
+		sizes := make([]string, len(w.Sizes))
+		for i, s := range w.Sizes {
+			sizes[i] = trimFloat(s)
+		}
+		fmt.Fprintf(&b, "%-10s %-5s %s (%s)\n", w.Name, w.Abbr, strings.Join(sizes, ", "), w.Unit)
+	}
+	return b.String()
+}
+
+// Table2 renders the 41 Spark configuration parameters with their ranges
+// and defaults (paper Table 2).
+func Table2() string {
+	space := conf.StandardSpace()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-48s %-18s %s\n", "Configuration Parameter", "Range", "Default")
+	for i := 0; i < space.Len(); i++ {
+		p := space.Param(i)
+		var rng string
+		switch p.Kind {
+		case conf.Bool:
+			rng = "true,false"
+		case conf.Enum:
+			rng = strings.Join(p.Choices, ",")
+		default:
+			rng = fmt.Sprintf("%s-%s", trimFloat(p.Min), trimFloat(p.Max))
+		}
+		fmt.Fprintf(&b, "%-48s %-18s %s\n", p.Name, rng, p.FormatValue(p.Default))
+	}
+	fmt.Fprintf(&b, "total: %d parameters\n", space.Len())
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

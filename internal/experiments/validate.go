@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// ValidateRow is one knob-flip cross-check between the real execution
+// engine and the cost simulator: the same configuration change is applied
+// to both, and the row records whether they agree on the *direction* of
+// the effect.
+type ValidateRow struct {
+	Knob string
+	// EngineRatio is time(after)/time(before) measured on the real
+	// engine; SimRatio is the simulator's prediction for the analogous
+	// cluster-scale change.
+	EngineRatio float64
+	SimRatio    float64
+	Agree       bool
+}
+
+// Validate grounds the substitution argument of DESIGN.md §2: for knobs
+// both systems implement — shuffle compression and shuffle parallelism —
+// the laptop-scale engine and the cluster-scale simulator must move in the
+// same direction when the knob flips. Absolute ratios differ (different
+// scales, different hardware); the sign of the effect must not.
+func Validate(sc Scale) []ValidateRow {
+	// --- Real engine measurements (WordCount over ~8MB of text). -------
+	var text bytes.Buffer
+	if _, err := workloads.GenText(&text, 8<<20, 1); err != nil {
+		panic(fmt.Sprintf("experiments: generating text: %v", err))
+	}
+	words := strings.Fields(text.String())
+	engineTime := func(cfg engine.Config) float64 {
+		// Median of three runs tames scheduler noise.
+		best := make([]float64, 0, 3)
+		for k := 0; k < 3; k++ {
+			ctx := engine.NewContext(cfg)
+			start := time.Now()
+			pairs := engine.MapToPairs(engine.Parallelize(ctx, words),
+				func(w string) (string, int) { return w, 1 })
+			counts, err := engine.ReduceByKey(pairs, func(a, b int) int { return a + b })
+			if err != nil {
+				panic(err)
+			}
+			if _, err := counts.Collect(); err != nil {
+				panic(err)
+			}
+			best = append(best, time.Since(start).Seconds())
+		}
+		if best[0] > best[1] {
+			best[0], best[1] = best[1], best[0]
+		}
+		if best[1] > best[2] {
+			best[1], best[2] = best[2], best[1]
+		}
+		return best[1]
+	}
+
+	// --- Simulator predictions (WordCount at cluster scale). ------------
+	sim := sparksim.New(sc.Cluster, sc.Seed)
+	wc, _ := workloads.ByAbbr("WC")
+	mb := wc.InputMB(120)
+	simTime := func(mutate func(conf.Config)) float64 {
+		cfg := conf.StandardSpace().Default().Set(conf.ExecutorMemory, 4096)
+		if mutate != nil {
+			mutate(cfg)
+		}
+		return sim.Run(&wc.Program, mb, cfg).TotalSec
+	}
+
+	rows := []ValidateRow{}
+
+	// Knob 1: shuffle compression on a CPU-bound word count. Both
+	// systems must agree on the direction (at this ratio of compute to
+	// I/O it costs more CPU than the bytes it saves).
+	engOff := engineTime(engine.Config{Parallelism: 8})
+	engOn := engineTime(engine.Config{Parallelism: 8, CompressShuffle: true})
+	simOff := simTime(func(c conf.Config) { c.SetBool(conf.ShuffleCompress, false) })
+	simOn := simTime(nil)
+	rows = append(rows, mkRow("shuffle compression on", engOn/engOff, simOn/simOff))
+
+	// Knob 2: more task slots (engine workers / executor cores) must
+	// speed a CPU-bound job up in both systems.
+	engFew := engineTime(engine.Config{Parallelism: 8, Workers: 2})
+	engMany := engineTime(engine.Config{Parallelism: 8, Workers: 8})
+	simFew := simTime(func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 8192)
+		c.Set(conf.ExecutorCores, 2)
+	})
+	simMany := simTime(func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 8192)
+		c.Set(conf.ExecutorCores, 12)
+	})
+	rows = append(rows, mkRow("more task slots", engMany/engFew, simMany/simFew))
+
+	// Knob 3: starving the shuffle of memory (forcing spills) must slow
+	// both systems down. Word count's combined shuffle is too small to
+	// feel it, so this row sorts — the whole dataset crosses the shuffle.
+	sortTime := func(cfg engine.Config) float64 {
+		var tera bytes.Buffer
+		if _, err := workloads.GenTeraRecords(&tera, 120_000, 2); err != nil {
+			panic(err)
+		}
+		records := strings.Split(strings.TrimRight(tera.String(), "\n"), "\n")
+		best := make([]float64, 0, 3)
+		for k := 0; k < 3; k++ {
+			ctx := engine.NewContext(cfg)
+			start := time.Now()
+			pairs := engine.MapToPairs(engine.Parallelize(ctx, records),
+				func(r string) (string, string) { return r[:10], r[10:] })
+			sorted, err := engine.SortByKey(pairs, func(a, b string) bool { return a < b })
+			if err != nil {
+				panic(err)
+			}
+			if _, err := sorted.Collect(); err != nil {
+				panic(err)
+			}
+			best = append(best, time.Since(start).Seconds())
+		}
+		if best[0] > best[1] {
+			best[0], best[1] = best[1], best[0]
+		}
+		if best[1] > best[2] {
+			best[1], best[2] = best[2], best[1]
+		}
+		return best[1]
+	}
+	ts, _ := workloads.ByAbbr("TS")
+	tsTime := func(memMB float64) float64 {
+		cfg := conf.StandardSpace().Default().
+			Set(conf.ExecutorMemory, memMB).
+			Set(conf.DefaultParallelism, 50)
+		return sim.Run(&ts.Program, ts.InputMB(30), cfg).TotalSec
+	}
+	engAmple := sortTime(engine.Config{Parallelism: 8})
+	engTight := sortTime(engine.Config{Parallelism: 8, ShuffleMemoryMB: 1})
+	simRatio := tsTime(1024) / tsTime(8192)
+	rows = append(rows, mkRow("shuffle memory starved", engTight/engAmple, simRatio))
+
+	return rows
+}
+
+func mkRow(knob string, engRatio, simRatio float64) ValidateRow {
+	return ValidateRow{
+		Knob:        knob,
+		EngineRatio: engRatio,
+		SimRatio:    simRatio,
+		Agree:       (engRatio < 1) == (simRatio < 1),
+	}
+}
+
+// RenderValidate prints the cross-check table.
+func RenderValidate(rows []ValidateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %14s %14s %8s\n", "knob flip", "engine ratio", "sim ratio", "agree")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %14.2f %14.2f %8v\n", r.Knob, r.EngineRatio, r.SimRatio, r.Agree)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package expert
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+func TestConfigIsLegal(t *testing.T) {
+	space := conf.StandardSpace()
+	c := Config(space, cluster.Standard())
+	for i := 0; i < space.Len(); i++ {
+		p := space.Param(i)
+		v := c.At(i)
+		if v < p.Min || v > p.Max {
+			t.Errorf("%s = %v outside [%v, %v]", p.Name, v, p.Min, p.Max)
+		}
+	}
+}
+
+func TestRulesApplied(t *testing.T) {
+	space := conf.StandardSpace()
+	c := Config(space, cluster.Standard())
+	if got := c.GetInt(conf.ExecutorCores); got != 5 {
+		t.Errorf("executor cores = %d, want the guides' 5", got)
+	}
+	if c.GetInt(conf.Serializer) != conf.SerializerKryo {
+		t.Error("expert config should select kryo")
+	}
+	if got := c.GetInt(conf.ExecutorMemory); got <= 1024 {
+		t.Errorf("executor memory = %d, should exceed the default", got)
+	}
+	// 2 tasks/core exceeds Table 2's parallelism cap, so it must clamp.
+	if got := c.GetInt(conf.DefaultParallelism); got != 50 {
+		t.Errorf("parallelism = %d, want the range cap 50", got)
+	}
+}
+
+func TestExpertBeatsDefaultOnEveryWorkload(t *testing.T) {
+	// §5.6: "the manual tuning indeed improves the default
+	// configuration" — across all six programs at their middle size.
+	space := conf.StandardSpace()
+	cl := cluster.Standard()
+	sim := sparksim.New(cl, 5)
+	def := space.Default()
+	exp := Config(space, cl)
+	for _, w := range workloads.All() {
+		mb := w.InputMB(w.Sizes[2])
+		tDef := sim.Run(&w.Program, mb, def).TotalSec
+		tExp := sim.Run(&w.Program, mb, exp).TotalSec
+		if tExp >= tDef {
+			t.Errorf("%s: expert (%.1fs) not faster than default (%.1fs)", w.Abbr, tExp, tDef)
+		}
+	}
+}
+
+func TestTinyClusterStillLegal(t *testing.T) {
+	space := conf.StandardSpace()
+	tiny := cluster.Cluster{
+		Workers: 1, CoresPerNode: 4, MemoryPerNodeMB: 4096,
+		CPUGHz: 2, DiskReadMBps: 100, DiskWriteMBps: 100, NetMBps: 100,
+		MasterCores: 4, MasterMemoryMB: 4096,
+	}
+	c := Config(space, tiny)
+	for i := 0; i < space.Len(); i++ {
+		p := space.Param(i)
+		if v := c.At(i); v < p.Min || v > p.Max {
+			t.Errorf("%s = %v outside range on a tiny cluster", p.Name, v)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package ga
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+)
+
+// BenchmarkMinimizePaperScale measures one full GA search with the paper's
+// settings (popSize 100 × 100 generations) over a cheap objective —
+// isolating the GA machinery from model prediction cost.
+func BenchmarkMinimizePaperScale(b *testing.B) {
+	space := conf.StandardSpace()
+	obj := sphere(space)
+	opt := Options{PopSize: 100, Generations: 100, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Minimize(space, obj, nil, opt)
+	}
+}
+
+// BenchmarkGeneration measures a single small generation.
+func BenchmarkGeneration(b *testing.B) {
+	space := conf.StandardSpace()
+	obj := sphere(space)
+	opt := Options{PopSize: 50, Generations: 1, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		Minimize(space, obj, nil, opt)
+	}
+}

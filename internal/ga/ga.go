@@ -1,0 +1,229 @@
+// Package ga implements the genetic algorithm of §3.3 (Fig. 6), the
+// searcher DAC uses to find the configuration minimizing a performance
+// model's predicted execution time. GA is chosen over recursive random
+// search and pattern search because it is robust against the many local
+// optima of the high dimensional configuration space.
+//
+// Individuals are encoded configuration vectors. Each generation applies
+// tournament selection, uniform crossover, and per-gene mutation at the
+// paper's rate of 0.01, with elitism preserving the best individuals.
+package ga
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/conf"
+)
+
+// Objective maps an encoded configuration vector to the quantity being
+// minimized — for DAC, the model-predicted execution time in seconds.
+type Objective func(x []float64) float64
+
+// Options are the GA hyperparameters. The zero value selects the paper's
+// setup: population 100, 100 generations, mutation rate 0.01.
+type Options struct {
+	// PopSize is the population size (the paper's popSize).
+	PopSize int
+	// Generations is the iteration budget; Fig. 11 shows convergence by
+	// 48–64 iterations across the six programs.
+	Generations int
+	// MutationRate is the per-gene mutation probability (Fig. 6: 0.01).
+	MutationRate float64
+	// CrossoverRate is the probability a pair is recombined rather than
+	// copied.
+	CrossoverRate float64
+	// TournamentK is the tournament selection size.
+	TournamentK int
+	// Elite is the number of top individuals copied unchanged.
+	Elite int
+	// Patience stops the search after this many generations without
+	// improvement; 0 disables early stopping.
+	Patience int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PopSize <= 0 {
+		o.PopSize = 100
+	}
+	if o.Generations <= 0 {
+		o.Generations = 100
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.01
+	}
+	if o.CrossoverRate <= 0 {
+		o.CrossoverRate = 0.9
+	}
+	if o.TournamentK <= 0 {
+		o.TournamentK = 3
+	}
+	if o.Elite <= 0 {
+		o.Elite = 2
+	}
+	return o
+}
+
+// Result is the outcome of one GA run.
+type Result struct {
+	// Best is the best encoded configuration found.
+	Best []float64
+	// BestFitness is its objective value.
+	BestFitness float64
+	// History records the best fitness after each generation — the
+	// convergence curves of Fig. 11.
+	History []float64
+	// Evaluations counts objective calls.
+	Evaluations int
+	// Converged is the first generation (1-based) whose best fitness is
+	// within 0.5% of the final best — the convergence point plotted in
+	// Fig. 11 — or 0 if the history is empty.
+	Converged int
+}
+
+// Minimize searches space for the configuration minimizing obj. init
+// optionally seeds the population with existing vectors (the paper seeds
+// popSize vectors drawn from the training set); the remainder is random.
+func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	d := space.Len()
+
+	pop := make([][]float64, opt.PopSize)
+	for i := range pop {
+		if i < len(init) && len(init[i]) == d {
+			pop[i] = clampVec(space, init[i])
+		} else {
+			pop[i] = space.Random(rng).Vector()
+		}
+	}
+
+	res := Result{BestFitness: math.Inf(1)}
+	fit := make([]float64, opt.PopSize)
+	evaluate := func() {
+		for i, x := range pop {
+			fit[i] = obj(x)
+			res.Evaluations++
+			if fit[i] < res.BestFitness {
+				res.BestFitness = fit[i]
+				res.Best = append([]float64(nil), x...)
+			}
+		}
+	}
+	evaluate()
+
+	sinceBest := 0
+	for gen := 0; gen < opt.Generations; gen++ {
+		next := make([][]float64, 0, opt.PopSize)
+		// Elitism.
+		for _, i := range bestK(fit, opt.Elite) {
+			next = append(next, append([]float64(nil), pop[i]...))
+		}
+		for len(next) < opt.PopSize {
+			a := pop[tournament(fit, opt.TournamentK, rng)]
+			b := pop[tournament(fit, opt.TournamentK, rng)]
+			c1, c2 := crossover(a, b, opt.CrossoverRate, rng)
+			mutate(space, c1, opt.MutationRate, rng)
+			mutate(space, c2, opt.MutationRate, rng)
+			next = append(next, c1)
+			if len(next) < opt.PopSize {
+				next = append(next, c2)
+			}
+		}
+		pop = next
+		prevBest := res.BestFitness
+		evaluate()
+		res.History = append(res.History, res.BestFitness)
+		if res.BestFitness < prevBest-1e-12 {
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if opt.Patience > 0 && sinceBest >= opt.Patience {
+				break
+			}
+		}
+	}
+	for g, v := range res.History {
+		if v <= res.BestFitness*1.005+1e-12 {
+			res.Converged = g + 1
+			break
+		}
+	}
+	return res
+}
+
+// tournament returns the index of the best of k random individuals.
+func tournament(fit []float64, k int, rng *rand.Rand) int {
+	best := rng.Intn(len(fit))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(fit))
+		if fit[c] < fit[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover performs uniform crossover with probability rate; otherwise
+// the parents are copied unchanged.
+func crossover(a, b []float64, rate float64, rng *rand.Rand) ([]float64, []float64) {
+	c1 := append([]float64(nil), a...)
+	c2 := append([]float64(nil), b...)
+	if rng.Float64() < rate {
+		for i := range c1 {
+			if rng.Float64() < 0.5 {
+				c1[i], c2[i] = c2[i], c1[i]
+			}
+		}
+	}
+	return c1, c2
+}
+
+// mutate resamples each gene with the configured probability.
+func mutate(space *conf.Space, x []float64, rate float64, rng *rand.Rand) {
+	for i := range x {
+		if rng.Float64() < rate {
+			x[i] = space.Param(i).Random(rng)
+		}
+	}
+}
+
+// bestK returns the indices of the k smallest fitness values.
+func bestK(fit []float64, k int) []int {
+	if k > len(fit) {
+		k = len(fit)
+	}
+	idx := make([]int, 0, k)
+	for c := 0; c < k; c++ {
+		best := -1
+		for i, f := range fit {
+			if contains(idx, i) {
+				continue
+			}
+			if best < 0 || f < fit[best] {
+				best = i
+			}
+		}
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clampVec(space *conf.Space, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = space.Param(i).Clamp(x[i])
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package hadoopsim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkRun measures one simulated MapReduce execution, the motivation
+// study's unit of work.
+func BenchmarkRun(b *testing.B) {
+	sim := New(cluster.Standard(), 1)
+	cfg := Space().Default()
+	job := PageRankJob()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Run(job, 18*1024, cfg)
+	}
+}

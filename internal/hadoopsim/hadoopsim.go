@@ -1,0 +1,210 @@
+// Package hadoopsim models a traditional on-disk cluster computing (ODC)
+// framework in the style of Hadoop MapReduce. The paper's motivation study
+// (§2.2.1, Fig. 2) contrasts it with Spark: because every MapReduce pass is
+// bracketed by disk I/O — input from HDFS, map-side sort spills, shuffle to
+// disk, replicated output — execution time is dominated by stable I/O terms
+// and is therefore far less sensitive to configuration and dataset-size
+// perturbations than the in-memory framework.
+//
+// The package reuses internal/conf's generic parameter-space machinery for
+// the ~10 performance-critical Hadoop parameters the paper cites.
+package hadoopsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+)
+
+// Hadoop parameter names.
+const (
+	IOSortMB          = "mapreduce.task.io.sort.mb"
+	IOSortFactor      = "mapreduce.task.io.sort.factor"
+	SortSpillPercent  = "mapreduce.map.sort.spill.percent"
+	MapMemoryMB       = "mapreduce.map.memory.mb"
+	ReduceMemoryMB    = "mapreduce.reduce.memory.mb"
+	NumReduces        = "mapreduce.job.reduces"
+	MapOutputCompress = "mapreduce.map.output.compress"
+	ParallelCopies    = "mapreduce.reduce.shuffle.parallelcopies"
+	ShuffleBufferPct  = "mapreduce.reduce.shuffle.input.buffer.percent"
+	SlowstartPct      = "mapreduce.job.reduce.slowstart.completedmaps"
+)
+
+// Space returns the ~10-parameter Hadoop configuration space the paper
+// contrasts with Spark's 41 (§1: "more than 40 vs. around 10").
+func Space() *conf.Space {
+	params := []conf.Param{
+		{Name: IOSortMB, Desc: "Map-side sort buffer", Kind: conf.Int, Min: 100, Max: 2048, Default: 100, Unit: "MB"},
+		{Name: IOSortFactor, Desc: "Streams merged at once during sorts", Kind: conf.Int, Min: 10, Max: 100, Default: 10},
+		{Name: SortSpillPercent, Desc: "Sort buffer fill ratio that triggers a spill", Kind: conf.Float, Min: 0.5, Max: 0.9, Default: 0.8},
+		{Name: MapMemoryMB, Desc: "Memory per map task", Kind: conf.Int, Min: 512, Max: 4096, Default: 1024, Unit: "MB"},
+		{Name: ReduceMemoryMB, Desc: "Memory per reduce task", Kind: conf.Int, Min: 512, Max: 8192, Default: 1024, Unit: "MB"},
+		{Name: NumReduces, Desc: "Reduce task count", Kind: conf.Int, Min: 8, Max: 200, Default: 16},
+		{Name: MapOutputCompress, Desc: "Compress intermediate map output", Kind: conf.Bool, Min: 0, Max: 1, Default: 0},
+		{Name: ParallelCopies, Desc: "Parallel fetches per reduce", Kind: conf.Int, Min: 5, Max: 50, Default: 5},
+		{Name: ShuffleBufferPct, Desc: "Reduce heap fraction buffering shuffle input", Kind: conf.Float, Min: 0.5, Max: 0.9, Default: 0.7},
+		{Name: SlowstartPct, Desc: "Map completion fraction before reduces start", Kind: conf.Float, Min: 0.05, Max: 1, Default: 0.8},
+	}
+	s, err := conf.NewSpace(params)
+	if err != nil {
+		panic("hadoopsim: invalid built-in space: " + err.Error())
+	}
+	return s
+}
+
+// Job describes a MapReduce application. Iterative algorithms (KMeans,
+// PageRank) run as chains of MapReduce passes with HDFS materialization in
+// between — the structural difference from the IMC framework.
+type Job struct {
+	Name string
+	// Iterations is the number of chained MapReduce passes.
+	Iterations int
+	// MapCPUSecPerMB and ReduceCPUSecPerMB are compute costs per MB at
+	// the reference 1.9 GHz clock.
+	MapCPUSecPerMB    float64
+	ReduceCPUSecPerMB float64
+	// ShuffleFrac is the map-output volume relative to pass input.
+	ShuffleFrac float64
+	// OutputFrac is the HDFS output volume per pass relative to input.
+	OutputFrac float64
+}
+
+// KMeansJob mirrors the Hadoop KMeans of the motivation study: every
+// iteration rescans the input from disk and shuffles only centroids.
+func KMeansJob() Job {
+	return Job{Name: "hadoop-kmeans", Iterations: 10, MapCPUSecPerMB: 0.11,
+		ReduceCPUSecPerMB: 0.02, ShuffleFrac: 0.001, OutputFrac: 0.001}
+}
+
+// PageRankJob mirrors Hadoop PageRank: each iteration shuffles rank
+// contributions and rewrites the rank table to HDFS.
+func PageRankJob() Job {
+	return Job{Name: "hadoop-pagerank", Iterations: 5, MapCPUSecPerMB: 0.05,
+		ReduceCPUSecPerMB: 0.04, ShuffleFrac: 0.4, OutputFrac: 0.3}
+}
+
+// Simulator executes Jobs on the modelled cluster.
+type Simulator struct {
+	Cluster cluster.Cluster
+	Seed    int64
+}
+
+// New returns a Hadoop simulator over cl.
+func New(cl cluster.Cluster, seed int64) *Simulator {
+	return &Simulator{Cluster: cl, Seed: seed}
+}
+
+// Run simulates the job over inputMB of input under cfg (a Space()
+// configuration) and returns the execution time in seconds. Deterministic
+// in (Seed, job, inputMB, cfg).
+func (s *Simulator) Run(job Job, inputMB float64, cfg conf.Config) float64 {
+	cl := s.Cluster
+	rng := rand.New(rand.NewSource(s.seed(job, inputMB, cfg)))
+	cpuScale := 1.9 / cl.CPUGHz
+
+	// Slot model: task memory determines how many fit per node.
+	mapSlots := int(math.Min(float64(cl.CoresPerNode), cl.MemoryPerNodeMB/float64(cfg.GetInt(MapMemoryMB)))) * cl.Workers
+	redSlots := int(math.Min(float64(cl.CoresPerNode), cl.MemoryPerNodeMB/float64(cfg.GetInt(ReduceMemoryMB)))) * cl.Workers
+	if mapSlots < 1 {
+		mapSlots = 1
+	}
+	if redSlots < 1 {
+		redSlots = 1
+	}
+
+	total := 0.0
+	for it := 0; it < job.Iterations; it++ {
+		total += s.pass(job, inputMB, cfg, rng, mapSlots, redSlots, cpuScale)
+	}
+	return total
+}
+
+// pass simulates one MapReduce pass.
+func (s *Simulator) pass(job Job, inputMB float64, cfg conf.Config, rng *rand.Rand, mapSlots, redSlots int, cpuScale float64) float64 {
+	cl := s.Cluster
+	maps := int(math.Ceil(inputMB / 128))
+	if maps < 1 {
+		maps = 1
+	}
+	reduces := cfg.GetInt(NumReduces)
+
+	perMap := inputMB / float64(maps)
+	spillMB := perMap * job.ShuffleFrac
+	sortMB := float64(cfg.GetInt(IOSortMB)) * cfg.Get(SortSpillPercent)
+	spills := math.Max(1, math.Ceil(spillMB/math.Max(1, sortMB)))
+	mergeRounds := math.Ceil(math.Log(math.Max(2, spills)) / math.Log(float64(cfg.GetInt(IOSortFactor))))
+
+	compress := cfg.GetBool(MapOutputCompress)
+	wireFactor := 1.0
+	compCPU := 0.0
+	if compress {
+		wireFactor = 0.5
+		compCPU = spillMB / 200 * cpuScale
+	}
+
+	// Map task: JVM startup and sort-buffer allocation, read HDFS,
+	// compute, sort-spill (possibly multiple merge passes), all
+	// bracketed by disk.
+	mapSec := 0.2 + float64(cfg.GetInt(IOSortMB))*0.001 +
+		perMap/cl.DiskReadMBps +
+		perMap*job.MapCPUSecPerMB*cpuScale +
+		spillMB*mergeRounds*wireFactor*(1/cl.DiskWriteMBps+1/cl.DiskReadMBps) +
+		spillMB*0.003*math.Log2(2+spillMB)*cpuScale + compCPU
+
+	// Reduce task: fetch over the network with bounded parallelism,
+	// merge from disk, compute, write replicated output.
+	perRed := inputMB * job.ShuffleFrac / float64(reduces)
+	copies := float64(cfg.GetInt(ParallelCopies))
+	fetchSec := perRed * wireFactor / cl.NetMBps * math.Max(1, 10/copies)
+	bufMB := float64(cfg.GetInt(ReduceMemoryMB)) * cfg.Get(ShuffleBufferPct)
+	diskMergeMB := math.Max(0, perRed-bufMB) * 2
+	outMB := inputMB * job.OutputFrac / float64(reduces)
+	redSec := fetchSec +
+		diskMergeMB/cl.DiskWriteMBps +
+		perRed*job.ReduceCPUSecPerMB*cpuScale +
+		outMB*(1/cl.DiskWriteMBps+2/cl.NetMBps)
+
+	// Wave scheduling with modest noise; reduces overlap maps after the
+	// slowstart threshold.
+	mapWall := wave(maps, mapSlots, mapSec, rng)
+	redWall := wave(reduces, redSlots, redSec, rng)
+	overlap := (1 - cfg.Get(SlowstartPct)) * math.Min(mapWall, redWall) * 0.5
+	// Per-pass fixed costs: job setup plus reduce-task scheduling and JVM
+	// launches, which depend on the configuration but not the data size —
+	// the reason ODC variation grows slowly with input size (Fig. 2).
+	setup := 2 + float64(reduces)*0.3
+	return mapWall + redWall - overlap + setup
+}
+
+// wave approximates list scheduling of n identical tasks with lognormal
+// noise over k slots.
+func wave(n, k int, sec float64, rng *rand.Rand) float64 {
+	waves := math.Ceil(float64(n) / float64(k))
+	const sigma = 0.08 // disk-bound tasks vary less than in-memory ones
+	noisy := sec * math.Exp(sigma*rng.NormFloat64()-sigma*sigma/2)
+	// The final wave's straggler sets the tail.
+	tail := sec * (1 + sigma*2)
+	return noisy*(waves-1) + tail
+}
+
+func (s *Simulator) seed(job Job, inputMB float64, cfg conf.Config) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(job.Name))
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(inputMB)
+	put(float64(s.Seed))
+	for _, v := range cfg.Vector() {
+		put(v)
+	}
+	return int64(h.Sum64())
+}

@@ -1,0 +1,48 @@
+package hm
+
+import "testing"
+
+// BenchmarkTrainPaperScale measures fitting one HM model with the paper's
+// tuned hyperparameters (tc=5, lr=0.05, nt up to 3600, early-stopped) on a
+// 2000-sample set — Table 3's "modeling" column.
+func BenchmarkTrainPaperScale(b *testing.B) {
+	ds := synthDS(2000, 1)
+	opt := Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m *Model
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = Train(ds, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.NumTrees()), "trees")
+}
+
+// BenchmarkPredict measures one model query — the GA performs ~10,000 of
+// these per search.
+func BenchmarkPredict(b *testing.B) {
+	ds := synthDS(1000, 2)
+	m, err := Train(ds, Options{Trees: 600, LearningRate: 0.05, TreeComplexity: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ds.Features[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+// BenchmarkTrajectory measures the Fig. 8 curve generation.
+func BenchmarkTrajectory(b *testing.B) {
+	ds := synthDS(1000, 3)
+	opt := Options{LearningRate: 0.05, TreeComplexity: 5, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Trajectory(ds, opt, []int{100, 400, 800}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package hm implements the paper's Hierarchical Modeling (HM, §3.2,
+// Algorithm 1): execution time is predicted by the cooperation of many
+// simple sub-models rather than one sophisticated model.
+//
+// FirstOrderProcedure is stochastic gradient boosting: regression trees of
+// complexity tc are grown on bootstrap samples of the residuals and added
+// with shrinkage lr, up to nt trees or convergence. If the first-order
+// model misses the target accuracy after converging, additional converged
+// first-order models are built (with fresh randomness) and hierarchically
+// blended; the paper weights sub-models by coefficients "corresponding to
+// learning rate", which we instantiate as the least-squares coefficients
+// on a held-out validation split — the choice that makes the blend an
+// improvement by construction.
+package hm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/tree"
+)
+
+// Options are HM's hyperparameters; the zero value selects the paper's
+// tuned settings (§5.2): tc=5, lr=0.05, nt=3600.
+type Options struct {
+	// Trees is nt, the sub-model budget of one first-order model.
+	Trees int
+	// LearningRate is lr, the shrinkage per sub-model.
+	LearningRate float64
+	// TreeComplexity is tc, split nodes per tree.
+	TreeComplexity int
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// TargetAccuracy stops model building once validation accuracy
+	// (1 - mean Eq. 2 error) reaches it. Default 0.90.
+	TargetAccuracy float64
+	// MaxOrder bounds the hierarchical recursion depth; order k blends
+	// up to k converged first-order models. Default 2.
+	MaxOrder int
+	// ValFrac is the fraction of the training set held out to measure
+	// accuracy and convergence. Default 0.2.
+	ValFrac float64
+	// ConvergeWindow is the number of trees without validation
+	// improvement after which a first-order model is converged.
+	// Default 300.
+	ConvergeWindow int
+	// LogTarget fits log execution time (recommended: times span
+	// orders of magnitude). Default true for the zero value.
+	NoLogTarget bool
+	// Seed drives bootstrapping and the train/validation split.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trees <= 0 {
+		o.Trees = 3600
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.05
+	}
+	if o.TreeComplexity <= 0 {
+		o.TreeComplexity = 5
+	}
+	if o.TargetAccuracy <= 0 {
+		o.TargetAccuracy = 0.90
+	}
+	if o.MaxOrder <= 0 {
+		o.MaxOrder = 2
+	}
+	if o.ValFrac <= 0 || o.ValFrac >= 1 {
+		o.ValFrac = 0.2
+	}
+	if o.ConvergeWindow <= 0 {
+		o.ConvergeWindow = 300
+	}
+	return o
+}
+
+// firstOrder is one boosted-tree model: base + lr·Σ trees.
+type firstOrder struct {
+	base  float64
+	lr    float64
+	trees []*tree.Tree
+}
+
+func (f *firstOrder) predict(x []float64) float64 {
+	v := f.base
+	for _, t := range f.trees {
+		v += f.lr * t.Predict(x)
+	}
+	return v
+}
+
+// Model is a trained HM model: a coefficient blend of first-order models
+// (a single first-order model has one coefficient of 1). It implements
+// model.Model, predicting execution time in seconds.
+type Model struct {
+	subs  []*firstOrder
+	coefs []float64
+	log   bool
+	// Order is the hierarchical order reached (1 = first-order).
+	Order int
+	// ValErr is the mean Eq. 2 validation error at the end of training.
+	ValErr float64
+}
+
+// Predict returns the predicted execution time in seconds.
+func (m *Model) Predict(x []float64) float64 {
+	v := 0.0
+	for i, s := range m.subs {
+		v += m.coefs[i] * s.predict(x)
+	}
+	if m.log {
+		return math.Exp(v)
+	}
+	return v
+}
+
+// NumTrees returns the total sub-model (tree) count across all orders.
+func (m *Model) NumTrees() int {
+	n := 0
+	for _, s := range m.subs {
+		n += len(s.trees)
+	}
+	return n
+}
+
+// Train fits an HM model to ds following Algorithm 1.
+func Train(ds *model.Dataset, opt Options) (*Model, error) {
+	opt = opt.withDefaults()
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("hm: %w", err)
+	}
+	if ds.Len() < 10 {
+		return nil, fmt.Errorf("hm: %d samples is too few", ds.Len())
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	trainDS, valDS := ds.Split(1-opt.ValFrac, rng)
+	tr := newTrainer(trainDS, valDS, opt, rng)
+
+	m := &Model{log: !opt.NoLogTarget, Order: 1}
+	// Algorithm 1 main loop: build first-order models until the target
+	// accuracy is met or the order budget is exhausted.
+	for order := 1; ; order++ {
+		fo := tr.firstOrderProcedure()
+		m.subs = append(m.subs, fo)
+		m.coefs = tr.fitCoefs(m.subs)
+		m.Order = order
+		m.ValErr = tr.valError(m.subs, m.coefs)
+		if 1-m.ValErr >= opt.TargetAccuracy || order >= opt.MaxOrder {
+			return m, nil
+		}
+	}
+}
+
+// trainer carries the shared state of one Train call.
+type trainer struct {
+	opt     Options
+	rng     *rand.Rand
+	builder *tree.Builder
+	train   *model.Dataset
+	val     *model.Dataset
+	yFit    []float64 // training targets in fit space (log or raw)
+}
+
+func newTrainer(trainDS, valDS *model.Dataset, opt Options, rng *rand.Rand) *trainer {
+	t := &trainer{
+		opt: opt, rng: rng,
+		builder: tree.NewBuilder(trainDS.Features),
+		train:   trainDS, val: valDS,
+		yFit: make([]float64, trainDS.Len()),
+	}
+	for i, v := range trainDS.Targets {
+		if opt.NoLogTarget {
+			t.yFit[i] = v
+		} else {
+			t.yFit[i] = math.Log(math.Max(1e-9, v))
+		}
+	}
+	return t
+}
+
+// firstOrderProcedure is Algorithm 1's FirstOrderProcedure: stochastic
+// gradient boosting with bootstrap samples, early-stopped on target
+// accuracy or convergence.
+func (t *trainer) firstOrderProcedure() *firstOrder {
+	n := t.train.Len()
+	fo := &firstOrder{lr: t.opt.LearningRate}
+	sum := 0.0
+	for _, v := range t.yFit {
+		sum += v
+	}
+	fo.base = sum / float64(n)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = fo.base
+	}
+	valPred := make([]float64, t.val.Len())
+	for i := range valPred {
+		valPred[i] = fo.base
+	}
+	resid := make([]float64, n)
+	gOpt := tree.Options{MaxSplits: t.opt.TreeComplexity, MinLeaf: t.opt.MinLeaf}
+
+	bestErr := math.Inf(1)
+	sinceBest := 0
+	const checkEvery = 10
+	for k := 0; k < t.opt.Trees; k++ {
+		for i := range resid {
+			resid[i] = t.yFit[i] - pred[i]
+		}
+		idx := model.Bootstrap(n, t.rng)
+		tr := t.builder.Grow(resid, idx, gOpt, t.rng)
+		fo.trees = append(fo.trees, tr)
+		for i, row := range t.train.Features {
+			pred[i] += fo.lr * tr.Predict(row)
+		}
+		for i, row := range t.val.Features {
+			valPred[i] += fo.lr * tr.Predict(row)
+		}
+		if (k+1)%checkEvery == 0 {
+			e := t.relErr(valPred)
+			if e < bestErr-1e-5 {
+				bestErr = e
+				sinceBest = 0
+			} else {
+				sinceBest += checkEvery
+			}
+			if 1-e >= t.opt.TargetAccuracy || sinceBest >= t.opt.ConvergeWindow {
+				break
+			}
+		}
+	}
+	return fo
+}
+
+// relErr computes the mean Eq. 2 error of fit-space predictions against
+// the validation targets.
+func (t *trainer) relErr(valPred []float64) float64 {
+	if len(valPred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, p := range valPred {
+		if !t.opt.NoLogTarget {
+			p = math.Exp(p)
+		}
+		sum += model.RelErr(p, t.val.Targets[i])
+	}
+	return sum / float64(len(valPred))
+}
+
+// fitCoefs solves the least-squares blend of the sub-models on the
+// validation split (in fit space). With one sub-model it returns {1}.
+func (t *trainer) fitCoefs(subs []*firstOrder) []float64 {
+	k := len(subs)
+	if k == 1 {
+		return []float64{1}
+	}
+	// Normal equations A a = b over validation predictions.
+	A := make([][]float64, k)
+	b := make([]float64, k)
+	preds := make([][]float64, k)
+	for j, s := range subs {
+		preds[j] = make([]float64, t.val.Len())
+		for i, row := range t.val.Features {
+			preds[j][i] = s.predict(row)
+		}
+	}
+	yv := make([]float64, t.val.Len())
+	for i, v := range t.val.Targets {
+		if t.opt.NoLogTarget {
+			yv[i] = v
+		} else {
+			yv[i] = math.Log(math.Max(1e-9, v))
+		}
+	}
+	for j := range A {
+		A[j] = make([]float64, k)
+		for l := range A[j] {
+			for i := range yv {
+				A[j][l] += preds[j][i] * preds[l][i]
+			}
+		}
+		A[j][j] += 1e-6 // ridge for numerical safety
+		for i := range yv {
+			b[j] += preds[j][i] * yv[i]
+		}
+	}
+	coefs, ok := solve(A, b)
+	if !ok {
+		// Degenerate system: fall back to a uniform blend.
+		coefs = make([]float64, k)
+		for j := range coefs {
+			coefs[j] = 1 / float64(k)
+		}
+	}
+	return coefs
+}
+
+// valError evaluates the blended model on the validation split.
+func (t *trainer) valError(subs []*firstOrder, coefs []float64) float64 {
+	if t.val.Len() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, row := range t.val.Features {
+		p := 0.0
+		for j, s := range subs {
+			p += coefs[j] * s.predict(row)
+		}
+		if !t.opt.NoLogTarget {
+			p = math.Exp(p)
+		}
+		sum += model.RelErr(p, t.val.Targets[i])
+	}
+	return sum / float64(len(t.val.Targets))
+}
+
+// solve performs Gaussian elimination with partial pivoting on the small
+// dense system Ax=b, returning ok=false for singular systems.
+func solve(A [][]float64, b []float64) ([]float64, bool) {
+	n := len(A)
+	M := make([][]float64, n)
+	for i := range M {
+		M[i] = append(append([]float64(nil), A[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(M[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		M[col], M[piv] = M[piv], M[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := M[r][col] / M[col][col]
+			for c := col; c <= n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = M[i][n] / M[i][i]
+	}
+	return x, true
+}
+
+// Trainer adapts Train to the model.Trainer interface.
+type Trainer struct{ Opt Options }
+
+// Name implements model.Trainer.
+func (Trainer) Name() string { return "HM" }
+
+// Train implements model.Trainer.
+func (t Trainer) Train(ds *model.Dataset) (model.Model, error) {
+	return Train(ds, t.Opt)
+}

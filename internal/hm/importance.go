@@ -1,0 +1,34 @@
+package hm
+
+// FeatureImportance returns the model's per-feature importance: the total
+// split gain each feature contributed across every tree of every
+// sub-model, normalized to sum to 1. The final feature of a DAC model is
+// the dataset size, so its importance quantifies the paper's core thesis —
+// how much predictive power the dsize column carries.
+func (m *Model) FeatureImportance() []float64 {
+	var imp []float64
+	for _, s := range m.subs {
+		for _, t := range s.trees {
+			g := t.Gains()
+			if g == nil {
+				continue
+			}
+			if imp == nil {
+				imp = make([]float64, len(g))
+			}
+			for i, v := range g {
+				imp[i] += v
+			}
+		}
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}

@@ -1,0 +1,45 @@
+package hm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := synthDS(600, 40)
+	m, err := Train(ds, Options{Trees: 200, LearningRate: 0.1, TreeComplexity: 5,
+		MaxOrder: 2, TargetAccuracy: 0.999, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order != m.Order || back.ValErr != m.ValErr {
+		t.Errorf("metadata changed: order %d->%d valerr %v->%v", m.Order, back.Order, m.ValErr, back.ValErr)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for k := 0; k < 200; k++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		a, b := m.Predict(x), back.Predict(x)
+		if a != b {
+			t.Fatalf("prediction changed after reload: %v != %v at %v", a, b, x)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail to load")
+	}
+}

@@ -1,0 +1,103 @@
+package hm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictWithUncertaintyConsistent(t *testing.T) {
+	ds := synthDS(600, 21)
+	// Force a multi-sub-model blend.
+	opt := Options{Trees: 150, LearningRate: 0.1, TreeComplexity: 5,
+		MaxOrder: 3, TargetAccuracy: 0.999, Seed: 1}
+	m, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSubModels() < 2 {
+		t.Fatalf("expected >=2 sub-models, got %d", m.NumSubModels())
+	}
+	x := []float64{5, 5, 5}
+	pred, std := m.PredictWithUncertainty(x)
+	if pred <= 0 || math.IsNaN(pred) {
+		t.Fatalf("pred=%v", pred)
+	}
+	if std < 0 || math.IsNaN(std) {
+		t.Fatalf("std=%v", std)
+	}
+	// The uncertainty-aware mean must agree with Predict.
+	if got := m.Predict(x); math.Abs(got-pred) > 1e-9*math.Max(1, got) {
+		t.Fatalf("Predict=%v but PredictWithUncertainty mean=%v", got, pred)
+	}
+}
+
+func TestSingleOrderReportsZeroStd(t *testing.T) {
+	ds := synthDS(400, 22)
+	m, err := Train(ds, Options{Trees: 100, LearningRate: 0.1, TreeComplexity: 5, MaxOrder: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSubModels() != 1 {
+		t.Fatalf("expected 1 sub-model, got %d", m.NumSubModels())
+	}
+	if _, std := m.PredictWithUncertainty([]float64{1, 2, 3}); std != 0 {
+		t.Fatalf("order-1 std = %v, want 0", std)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	ds := synthDS(800, 30) // target depends on all three features + cliff on x0
+	m, err := Train(ds, Options{Trees: 200, LearningRate: 0.1, TreeComplexity: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length %d, want 3", len(imp))
+	}
+	sum := 0.0
+	for i, v := range imp {
+		if v < 0 {
+			t.Errorf("importance[%d] = %v < 0", i, v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importance sums to %v, want 1", sum)
+	}
+	// x0 carries the 3x cliff plus a linear term: it must dominate.
+	if imp[0] <= imp[1] || imp[0] <= imp[2] {
+		t.Errorf("x0 should dominate importance: %v", imp)
+	}
+}
+
+func TestUncertaintyGrowsOffDistribution(t *testing.T) {
+	ds := synthDS(800, 23) // features live in [0,10]^3
+	opt := Options{Trees: 150, LearningRate: 0.1, TreeComplexity: 5,
+		MaxOrder: 3, TargetAccuracy: 0.999, Seed: 1}
+	m, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average dispersion at in-distribution vs far-out points.
+	inStd, outStd := 0.0, 0.0
+	n := 0
+	for i := 0; i < 50; i++ {
+		_, s := m.PredictWithUncertainty(ds.Features[i*7%ds.Len()])
+		inStd += s
+		n++
+	}
+	probes := [][]float64{{50, 50, 50}, {-40, 90, 0}, {100, -10, 55}}
+	for _, p := range probes {
+		_, s := m.PredictWithUncertainty(p)
+		outStd += s
+	}
+	inStd /= float64(n)
+	outStd /= float64(len(probes))
+	// Trees clamp off-distribution inputs to edge leaves, so this is a
+	// weak expectation: dispersion out there should at least not vanish.
+	if outStd <= 0 {
+		t.Fatalf("off-distribution dispersion = %v, want > 0", outStd)
+	}
+	t.Logf("in-dist std %.3f, out-dist std %.3f", inStd, outStd)
+}

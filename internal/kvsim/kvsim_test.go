@@ -1,0 +1,143 @@
+package kvsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/conf"
+)
+
+func TestSpaceShape(t *testing.T) {
+	s := Space()
+	if s.Len() != 16 {
+		t.Fatalf("space has %d params, want 16", s.Len())
+	}
+	c := s.Default()
+	if c.GetInt(HeapMB) != 4096 {
+		t.Errorf("heap default = %d", c.GetInt(HeapMB))
+	}
+	if c.GetEnum(Compression) != "none" {
+		t.Errorf("compression default = %s", c.GetEnum(Compression))
+	}
+}
+
+func TestRunPositiveDeterministic(t *testing.T) {
+	sim := New(1)
+	cfg := Space().Default()
+	a := sim.Run(ReadHeavy(), 50*1024, cfg)
+	b := sim.Run(ReadHeavy(), 50*1024, cfg)
+	if a <= 0 {
+		t.Fatalf("time %v", a)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+	if c := New(2).Run(ReadHeavy(), 50*1024, cfg); c == a {
+		t.Error("different seeds gave identical noisy results")
+	}
+}
+
+func TestDatasizeMatters(t *testing.T) {
+	// The extension's point: the same configuration performs differently
+	// as the dataset outgrows the block cache.
+	sim := New(1)
+	cfg := Space().Default()
+	small := sim.Run(ReadHeavy(), 2*1024, cfg)   // hot set fits in cache
+	large := sim.Run(ReadHeavy(), 400*1024, cfg) // it does not
+	if large <= small*1.5 {
+		t.Fatalf("read-heavy time should jump when the hot set outgrows the cache: %v -> %v", small, large)
+	}
+}
+
+func TestMoreCacheHelpsReads(t *testing.T) {
+	sim := New(1)
+	s := Space()
+	smallCache := s.Default().Set(HeapMB, 16384).Set(BlockCacheFrac, 0.1)
+	bigCache := s.Default().Set(HeapMB, 16384).Set(BlockCacheFrac, 0.6)
+	tSmall := sim.Run(ReadHeavy(), 100*1024, smallCache)
+	tBig := sim.Run(ReadHeavy(), 100*1024, bigCache)
+	if tBig >= tSmall {
+		t.Fatalf("bigger block cache (%v) not faster than small (%v) on read-heavy", tBig, tSmall)
+	}
+}
+
+func TestDeferredWALHelpsWrites(t *testing.T) {
+	sim := New(1)
+	s := Space()
+	ingest := Workload{Name: "ingest", Ops: 10_000_000, ReadFrac: 0.02, RecordKB: 1, ZipfSkew: 0.8}
+	sync := s.Default()
+	deferred := s.Default().SetBool(DeferredWALFlush, true)
+	tSync := sim.Run(ingest, 50*1024, sync)
+	tDef := sim.Run(ingest, 50*1024, deferred)
+	if tDef >= tSync {
+		t.Fatalf("deferred WAL (%v) not faster than per-op sync (%v) on write-heavy", tDef, tSync)
+	}
+}
+
+func TestBloomFiltersHelpPointReads(t *testing.T) {
+	sim := New(1)
+	s := Space()
+	// Force many store files via a lazy compaction config.
+	base := s.Default().
+		Set(CompactionThreshold, 10).
+		Set(CompactionMaxFiles, 5).
+		Set(MemstoreFlushSize, 32).
+		Set(BlockingStoreFiles, 50)
+	withBloom := base.Clone().Set(BloomFilter, BloomRow)
+	noBloom := base.Clone().Set(BloomFilter, BloomNone)
+	tB := sim.Run(ReadHeavy(), 200*1024, withBloom)
+	tN := sim.Run(ReadHeavy(), 200*1024, noBloom)
+	if tB >= tN {
+		t.Fatalf("bloom filters (%v) not faster than none (%v) with many store files", tB, tN)
+	}
+}
+
+func TestWorkloadPresetsDiffer(t *testing.T) {
+	sim := New(1)
+	cfg := Space().Default()
+	rh := sim.Run(ReadHeavy(), 50*1024, cfg)
+	wh := sim.Run(WriteHeavy(), 50*1024, cfg)
+	sh := sim.Run(ScanHeavy(), 50*1024, cfg)
+	if rh == wh || wh == sh {
+		t.Error("workload presets should behave differently")
+	}
+}
+
+// Property: random configurations always produce positive finite times.
+func TestRunFiniteProperty(t *testing.T) {
+	sim := New(3)
+	s := Space()
+	rng := rand.New(rand.NewSource(4))
+	f := func(int64) bool {
+		cfg := s.Random(rng)
+		mb := 1024 * (1 + rng.Float64()*499)
+		v := sim.Run(WriteHeavy(), mb, cfg)
+		return v > 0 && v < 1e9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: config values stay within range after Random (guards the
+// space definition).
+func TestSpaceRandomLegalProperty(t *testing.T) {
+	s := Space()
+	rng := rand.New(rand.NewSource(5))
+	f := func(int64) bool {
+		c := s.Random(rng)
+		for i := 0; i < s.Len(); i++ {
+			p := s.Param(i)
+			if c.At(i) < p.Min || c.At(i) > p.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = conf.NumParams // keep the conf import for the named constants above

@@ -1,0 +1,187 @@
+package kvsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/conf"
+)
+
+// Workload is a YCSB-style request mix against one region server.
+type Workload struct {
+	// Name labels the workload.
+	Name string
+	// Ops is the number of operations in the batch being timed.
+	Ops int
+	// ReadFrac is the fraction of reads (the rest are writes).
+	ReadFrac float64
+	// RecordKB is the value size.
+	RecordKB float64
+	// ZipfSkew in [0,1) controls how concentrated the key popularity is
+	// (0 = uniform); higher skew means a smaller hot set.
+	ZipfSkew float64
+}
+
+// ReadHeavy returns YCSB workload B (95% reads).
+func ReadHeavy() Workload {
+	return Workload{Name: "read-heavy", Ops: 10_000_000, ReadFrac: 0.95, RecordKB: 1, ZipfSkew: 0.8}
+}
+
+// WriteHeavy returns a 50/50 update-heavy mix (YCSB A).
+func WriteHeavy() Workload {
+	return Workload{Name: "write-heavy", Ops: 10_000_000, ReadFrac: 0.5, RecordKB: 1, ZipfSkew: 0.8}
+}
+
+// ScanHeavy returns a large-value sequential-leaning mix.
+func ScanHeavy() Workload {
+	return Workload{Name: "scan-heavy", Ops: 2_000_000, ReadFrac: 0.9, RecordKB: 16, ZipfSkew: 0.4}
+}
+
+// Simulator times workload batches on one region server.
+type Simulator struct {
+	// DiskMBps and DiskSeekMs describe the store's disks.
+	DiskMBps   float64
+	DiskSeekMs float64
+	// Cores is the region server's CPU budget.
+	Cores int
+	// Seed drives run-to-run noise.
+	Seed int64
+}
+
+// New returns a simulator with typical spinning-disk region-server
+// hardware.
+func New(seed int64) *Simulator {
+	return &Simulator{DiskMBps: 140, DiskSeekMs: 7, Cores: 16, Seed: seed}
+}
+
+// Run times the workload batch against a dataset of datasetMB on-disk
+// megabytes under cfg (a Space() configuration) and returns seconds.
+// Like the Spark simulator, the result is deterministic in
+// (Seed, workload, datasetMB, cfg) — and datasetMB matters, because the
+// block-cache hit ratio and compaction depth both scale with it.
+func (s *Simulator) Run(w Workload, datasetMB float64, cfg conf.Config) float64 {
+	rng := rand.New(rand.NewSource(s.seed(w, datasetMB, cfg)))
+
+	heap := float64(cfg.GetInt(HeapMB))
+	cacheMB := heap * cfg.Get(BlockCacheFrac)
+	memstoreCap := math.Min(float64(cfg.GetInt(MemstoreFlushSize)), heap*cfg.Get(GlobalMemstoreFrac))
+
+	// Compression properties.
+	var ratio, compMBps float64
+	switch cfg.GetInt(Compression) {
+	case CompressSnappy:
+		ratio, compMBps = 0.5, 400
+	case CompressGZ:
+		ratio, compMBps = 0.35, 60
+	default:
+		ratio, compMBps = 1.0, math.Inf(1)
+	}
+
+	reads := float64(w.Ops) * w.ReadFrac
+	writes := float64(w.Ops) - reads
+	writtenMB := writes * w.RecordKB / 1024
+
+	// --- Write path --------------------------------------------------------
+	// WAL append per write; sync per op unless deferred (group commit).
+	// A synchronous hflush to the filesystem pipeline costs ~0.5 ms;
+	// deferred flushing group-commits dozens of edits per sync.
+	walSyncMs := 0.5
+	if cfg.GetBool(DeferredWALFlush) {
+		walSyncMs = 0.015
+	}
+	// Client batching amortizes RPC overhead.
+	rpcPerOpMs := 0.02 * 2048 / math.Max(512, cfg.Get(ClientWriteBuffer))
+	writeCPUSec := writes * (0.004 + rpcPerOpMs) / 1000
+	walSec := writes*walSyncMs/1000 + writtenMB/s.DiskMBps
+
+	// Flushes and size-tiered compaction: write amplification grows with
+	// how many tiers the data passes through before reaching max-size
+	// files.
+	flushes := math.Max(1, writtenMB/memstoreCap)
+	tiers := math.Max(1, math.Log(math.Max(2, datasetMB/memstoreCap))/
+		math.Log(float64(cfg.GetInt(CompactionThreshold))+1))
+	amplification := math.Min(8, tiers)
+	compactIOMB := writtenMB * amplification * ratio
+	compactSec := compactIOMB*(1/s.DiskMBps+1/s.DiskMBps) + writtenMB*amplification/compMBps/float64(s.Cores)
+
+	// Write stalls: if flushing outpaces compaction, store files pile up
+	// to the blocking threshold and writers block.
+	steadyFiles := flushes / math.Max(1, float64(cfg.GetInt(CompactionMaxFiles))) * float64(cfg.GetInt(CompactionThreshold))
+	blocking := float64(cfg.GetInt(BlockingStoreFiles))
+	stallSec := 0.0
+	if steadyFiles > blocking {
+		stallSec = (steadyFiles - blocking) / blocking * compactSec * 0.5
+	}
+	// Memstore block multiplier: a small multiplier blocks writes during
+	// flush bursts.
+	stallSec += flushes * 0.05 * 8 / float64(cfg.GetInt(MemstoreMultiplier))
+
+	// --- Read path -----------------------------------------------------------
+	// Hot-set size from the Zipf skew; cache effectiveness compares it to
+	// the cache (compressed blocks cache more data when compression on).
+	hotMB := datasetMB * math.Pow(0.05, w.ZipfSkew)
+	effCache := cacheMB / ratio
+	hit := math.Min(0.99, effCache/math.Max(1, hotMB))
+	if cfg.GetBool(PrefetchOnOpen) {
+		hit = math.Min(0.99, hit*1.05)
+	}
+
+	blockKB := float64(cfg.GetInt(BlockSizeKB))
+	// Store files a read must consult: bloom filters skip most.
+	files := math.Max(1, math.Min(steadyFiles, blocking))
+	probes := files
+	if cfg.GetInt(BloomFilter) == BloomRow {
+		probes = 1 + 0.02*files
+	}
+	missSec := (s.DiskSeekMs/1000 + blockKB*ratio/1024/s.DiskMBps) * probes
+	// Larger blocks waste read bandwidth for point gets but help scans.
+	if w.RecordKB < 4 {
+		missSec *= 1 + blockKB/512
+	}
+	decompSec := 0.0
+	if ratio < 1 {
+		decompSec = blockKB / 1024 / compMBps * probes * 4
+	}
+	readSec := reads * ((1-hit)*(missSec+decompSec) + 0.00002 + blockKB/1024/2000/1000)
+
+	// --- Concurrency and GC ----------------------------------------------------
+	handlers := float64(cfg.GetInt(HandlerCount))
+	conc := math.Min(handlers, float64(s.Cores)*4)
+	queueFactor := 1 + 4/math.Max(4, conc) // too few handlers serialize
+	switchFactor := 1 + math.Max(0, handlers-conc)/600
+	occ := math.Min(0.95, cfg.Get(BlockCacheFrac)+cfg.Get(GlobalMemstoreFrac)+0.1)
+	gcFactor := 1 + 0.05*occ*occ/(1-occ)*heap/4096
+
+	cpuSec := (writeCPUSec + readSec*0.2) / float64(s.Cores)
+	ioSec := walSec + compactSec + stallSec + readSec*0.8
+	total := (cpuSec + ioSec) * queueFactor * switchFactor * gcFactor
+
+	// Region splits add brief unavailability for large datasets.
+	regions := math.Max(1, datasetMB/float64(cfg.GetInt(RegionMaxFileSize)))
+	total += regions * 1.5
+
+	// Run-to-run noise.
+	total *= math.Exp(0.04*rng.NormFloat64() - 0.0008)
+	return total
+}
+
+func (s *Simulator) seed(w Workload, datasetMB float64, cfg conf.Config) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(w.Name))
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(datasetMB)
+	put(float64(w.Ops))
+	put(float64(s.Seed))
+	for _, v := range cfg.Vector() {
+		put(v)
+	}
+	return int64(h.Sum64())
+}

@@ -1,0 +1,75 @@
+// Package kvsim models an HBase-style LSM-tree key-value store (a region
+// server serving a YCSB-like workload). The paper notes (§2.1) that DAC's
+// principles "can be easily applied to other computing systems such as
+// HBase which also requires end users to set a large number of
+// configuration parameters" — this package is that extension: a second
+// substrate with its own configuration space, tuned through the exact same
+// collect → model → search pipeline (internal/core is substrate-agnostic).
+//
+// The mechanisms modelled are the ones HBase's tuning guide attributes its
+// knobs to: memstore flushing and write stalls, size-tiered compaction and
+// its read/write amplification, the block cache against a Zipfian working
+// set, bloom filters, WAL syncing, handler concurrency, and JVM GC.
+package kvsim
+
+import "repro/internal/conf"
+
+// Parameter names (HBase property spellings).
+const (
+	HandlerCount        = "hbase.regionserver.handler.count"
+	MemstoreFlushSize   = "hbase.hregion.memstore.flush.size"
+	MemstoreMultiplier  = "hbase.hregion.memstore.block.multiplier"
+	GlobalMemstoreFrac  = "hbase.regionserver.global.memstore.size"
+	BlockCacheFrac      = "hfile.block.cache.size"
+	RegionMaxFileSize   = "hbase.hregion.max.filesize"
+	CompactionThreshold = "hbase.hstore.compactionThreshold"
+	BlockingStoreFiles  = "hbase.hstore.blockingStoreFiles"
+	CompactionMaxFiles  = "hbase.hstore.compaction.max"
+	BlockSizeKB         = "hbase.mapreduce.hfileoutputformat.blocksize"
+	HeapMB              = "hbase.regionserver.heapsize"
+	Compression         = "hbase.hfile.compression"
+	DeferredWALFlush    = "hbase.regionserver.optionallogflushinterval.deferred"
+	ClientWriteBuffer   = "hbase.client.write.buffer"
+	BloomFilter         = "hbase.hfile.bloom"
+	PrefetchOnOpen      = "hbase.rs.prefetchblocksonopen"
+)
+
+// Compression choices, in encoding order.
+const (
+	CompressNone   = 0
+	CompressSnappy = 1
+	CompressGZ     = 2
+)
+
+// Bloom filter choices, in encoding order.
+const (
+	BloomNone = 0
+	BloomRow  = 1
+)
+
+// Space returns the key-value store's 16-parameter configuration space.
+func Space() *conf.Space {
+	params := []conf.Param{
+		{Name: HandlerCount, Desc: "RPC handler threads per region server", Kind: conf.Int, Min: 10, Max: 300, Default: 30},
+		{Name: MemstoreFlushSize, Desc: "Memstore size that triggers a flush", Kind: conf.Int, Min: 32, Max: 512, Default: 128, Unit: "MB"},
+		{Name: MemstoreMultiplier, Desc: "Flush-size multiple at which writes block", Kind: conf.Int, Min: 2, Max: 8, Default: 4},
+		{Name: GlobalMemstoreFrac, Desc: "Heap fraction all memstores may occupy", Kind: conf.Float, Min: 0.2, Max: 0.6, Default: 0.4},
+		{Name: BlockCacheFrac, Desc: "Heap fraction for the block cache", Kind: conf.Float, Min: 0.1, Max: 0.6, Default: 0.4},
+		{Name: RegionMaxFileSize, Desc: "Region size that triggers a split", Kind: conf.Int, Min: 1024, Max: 20480, Default: 10240, Unit: "MB"},
+		{Name: CompactionThreshold, Desc: "Store files that trigger a minor compaction", Kind: conf.Int, Min: 2, Max: 10, Default: 3},
+		{Name: BlockingStoreFiles, Desc: "Store files at which writes block", Kind: conf.Int, Min: 7, Max: 50, Default: 10},
+		{Name: CompactionMaxFiles, Desc: "Max files merged per compaction", Kind: conf.Int, Min: 5, Max: 20, Default: 10},
+		{Name: BlockSizeKB, Desc: "HFile block size", Kind: conf.Int, Min: 16, Max: 256, Default: 64, Unit: "KB"},
+		{Name: HeapMB, Desc: "Region server JVM heap", Kind: conf.Int, Min: 1024, Max: 16384, Default: 4096, Unit: "MB"},
+		{Name: Compression, Desc: "HFile block compression codec", Kind: conf.Enum, Min: 0, Max: 2, Choices: []string{"none", "snappy", "gz"}, Default: CompressNone},
+		{Name: DeferredWALFlush, Desc: "Defer WAL syncs (group commit)", Kind: conf.Bool, Min: 0, Max: 1, Default: 0},
+		{Name: ClientWriteBuffer, Desc: "Client-side write buffer", Kind: conf.Int, Min: 512, Max: 8192, Default: 2048, Unit: "KB"},
+		{Name: BloomFilter, Desc: "Bloom filter granularity", Kind: conf.Enum, Min: 0, Max: 1, Choices: []string{"none", "row"}, Default: BloomRow},
+		{Name: PrefetchOnOpen, Desc: "Prefetch blocks when opening store files", Kind: conf.Bool, Min: 0, Max: 1, Default: 0},
+	}
+	s, err := conf.NewSpace(params)
+	if err != nil {
+		panic("kvsim: invalid built-in space: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// KFoldStats summarizes a cross-validation: the per-fold mean Eq. 2 errors
+// and their spread.
+type KFoldStats struct {
+	// FoldErrs holds each fold's mean relative error.
+	FoldErrs []float64
+	// Mean and Std summarize FoldErrs.
+	Mean, Std float64
+}
+
+// KFold runs k-fold cross-validation of a trainer over ds: the paper
+// validates with a single held-out quarter (§3.2); k-fold adds error bars
+// to the same measurement.
+func KFold(tr Trainer, ds *Dataset, k int, rng *rand.Rand) (KFoldStats, error) {
+	if k < 2 {
+		return KFoldStats{}, fmt.Errorf("model: k must be >= 2, got %d", k)
+	}
+	n := ds.Len()
+	if n < k {
+		return KFoldStats{}, fmt.Errorf("model: %d samples for %d folds", n, k)
+	}
+	perm := rng.Perm(n)
+	out := KFoldStats{FoldErrs: make([]float64, 0, k)}
+	for fold := 0; fold < k; fold++ {
+		lo, hi := fold*n/k, (fold+1)*n/k
+		var trainIdx, testIdx []int
+		for i, p := range perm {
+			if i >= lo && i < hi {
+				testIdx = append(testIdx, p)
+			} else {
+				trainIdx = append(trainIdx, p)
+			}
+		}
+		m, err := tr.Train(ds.Subset(trainIdx))
+		if err != nil {
+			return KFoldStats{}, fmt.Errorf("model: fold %d: %w", fold, err)
+		}
+		out.FoldErrs = append(out.FoldErrs, Evaluate(m, ds.Subset(testIdx)).Mean)
+	}
+	out.Mean = stats.Mean(out.FoldErrs)
+	out.Std = stats.StdDev(out.FoldErrs)
+	return out, nil
+}

@@ -1,0 +1,30 @@
+package rf
+
+import "testing"
+
+// BenchmarkTrain measures fitting RFHOC's forest (200 deep trees) on a
+// paper-scale training set.
+func BenchmarkTrain(b *testing.B) {
+	ds := synthDS(2000, 1)
+	opt := Options{Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures one forest query.
+func BenchmarkPredict(b *testing.B) {
+	ds := synthDS(1000, 2)
+	m, err := Train(ds, Options{Trees: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ds.Features[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

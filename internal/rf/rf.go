@@ -1,0 +1,139 @@
+// Package rf implements random-forest regression — the modeling technique
+// of RFHOC [4], the state-of-the-art Hadoop auto-tuner the paper
+// reimplements on Spark as its strongest baseline (§5.6): bagged deep
+// regression trees with per-split feature subsampling, averaged.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/tree"
+)
+
+// Options are the forest hyperparameters; the zero value selects 200 trees
+// of up to 127 splits with sqrt-fraction feature sampling.
+type Options struct {
+	// Trees is the forest size.
+	Trees int
+	// MaxSplits bounds each tree's split count (deep by default).
+	MaxSplits int
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// FeatureFrac is the per-split feature sampling fraction; 0 selects
+	// 1/3, the standard regression-forest default.
+	FeatureFrac float64
+	// NoLogTarget disables fitting log execution time.
+	NoLogTarget bool
+	// Seed drives bagging and feature sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trees <= 0 {
+		o.Trees = 200
+	}
+	if o.MaxSplits <= 0 {
+		o.MaxSplits = 127
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 3
+	}
+	if o.FeatureFrac <= 0 {
+		o.FeatureFrac = 1.0 / 3
+	}
+	return o
+}
+
+// Forest is a trained random forest implementing model.Model.
+type Forest struct {
+	trees []*tree.Tree
+	log   bool
+}
+
+// Predict averages the trees (in fit space) and returns seconds.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	v := sum / float64(len(f.trees))
+	if f.log {
+		return math.Exp(v)
+	}
+	return v
+}
+
+// NumTrees returns the forest size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// FeatureImportance returns the per-feature split gains summed over the
+// forest, normalized to sum to 1 (nil for an empty forest).
+func (f *Forest) FeatureImportance() []float64 {
+	var imp []float64
+	for _, t := range f.trees {
+		g := t.Gains()
+		if g == nil {
+			continue
+		}
+		if imp == nil {
+			imp = make([]float64, len(g))
+		}
+		for i, v := range g {
+			imp[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// Train fits a random forest to ds.
+func Train(ds *model.Dataset, opt Options) (*Forest, error) {
+	opt = opt.withDefaults()
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("rf: %w", err)
+	}
+	n := ds.Len()
+	if n < 5 {
+		return nil, fmt.Errorf("rf: %d samples is too few", n)
+	}
+	y := make([]float64, n)
+	for i, t := range ds.Targets {
+		if opt.NoLogTarget {
+			y[i] = t
+		} else {
+			y[i] = math.Log(math.Max(1e-9, t))
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	builder := tree.NewBuilder(ds.Features)
+	gOpt := tree.Options{MaxSplits: opt.MaxSplits, MinLeaf: opt.MinLeaf, FeatureFrac: opt.FeatureFrac}
+	f := &Forest{log: !opt.NoLogTarget, trees: make([]*tree.Tree, 0, opt.Trees)}
+	for k := 0; k < opt.Trees; k++ {
+		idx := model.Bootstrap(n, rng)
+		f.trees = append(f.trees, builder.Grow(y, idx, gOpt, rng))
+	}
+	return f, nil
+}
+
+// Trainer adapts Train to model.Trainer.
+type Trainer struct{ Opt Options }
+
+// Name implements model.Trainer.
+func (Trainer) Name() string { return "RF" }
+
+// Train implements model.Trainer.
+func (t Trainer) Train(ds *model.Dataset) (model.Model, error) { return Train(ds, t.Opt) }

@@ -1,0 +1,51 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// wideDS builds a 42-feature dataset, the response surface's real load:
+// the second-order basis has ~1000 terms at that width.
+func wideDS(n int, seed int64) *model.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := model.NewDataset(nil)
+	x := make([]float64, 42)
+	for i := 0; i < n; i++ {
+		t := 5.0
+		for j := range x {
+			x[j] = rng.Float64() * 10
+			t += x[j] * float64(j%3)
+		}
+		ds.Add(x, t)
+	}
+	return ds
+}
+
+// BenchmarkTrainWide measures solving the ~1000-term normal equations for
+// the paper-scale feature width.
+func BenchmarkTrainWide(b *testing.B) {
+	ds := wideDS(2000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures one polynomial evaluation.
+func BenchmarkPredict(b *testing.B) {
+	ds := wideDS(500, 2)
+	m, err := Train(ds, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ds.Features[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -1,0 +1,149 @@
+// Package search provides the alternative configuration searchers the
+// paper considers and rejects in §3.3 — recursive random search [56] and
+// pattern search [46] — plus plain random sampling. They exist so the
+// ablation benchmarks can demonstrate GA's robustness against the local
+// optima of the configuration space.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/conf"
+)
+
+// Objective maps an encoded configuration vector to the quantity being
+// minimized.
+type Objective func(x []float64) float64
+
+// Result is a searcher's outcome.
+type Result struct {
+	Best        []float64
+	BestFitness float64
+	Evaluations int
+}
+
+// Random evaluates budget uniformly random configurations and keeps the
+// best — the naive baseline every model-guided searcher must beat.
+func Random(space *conf.Space, obj Objective, budget int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{BestFitness: math.Inf(1)}
+	for i := 0; i < budget; i++ {
+		x := space.Random(rng).Vector()
+		f := obj(x)
+		res.Evaluations++
+		if f < res.BestFitness {
+			res.BestFitness = f
+			res.Best = x
+		}
+	}
+	return res
+}
+
+// RecursiveRandom implements recursive random search: sample globally,
+// then repeatedly re-sample inside a shrinking box around the incumbent,
+// restarting globally when a region is exhausted. The paper notes its
+// sensitivity to local optima — visible in the ablation bench.
+func RecursiveRandom(space *conf.Space, obj Objective, budget int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	d := space.Len()
+	res := Result{BestFitness: math.Inf(1)}
+
+	const (
+		exploreN = 20   // global samples per restart
+		shrink   = 0.6  // box shrink factor on success
+		minScale = 0.02 // region size that triggers a restart
+	)
+	for res.Evaluations < budget {
+		// Global exploration phase.
+		var center []float64
+		local := math.Inf(1)
+		for i := 0; i < exploreN && res.Evaluations < budget; i++ {
+			x := space.Random(rng).Vector()
+			f := obj(x)
+			res.Evaluations++
+			if f < local {
+				local, center = f, x
+			}
+			if f < res.BestFitness {
+				res.BestFitness = f
+				res.Best = append([]float64(nil), x...)
+			}
+		}
+		if center == nil {
+			break
+		}
+		// Local exploitation: shrink a box around the incumbent.
+		scale := 0.5
+		fails := 0
+		for scale > minScale && res.Evaluations < budget {
+			x := make([]float64, d)
+			for j := 0; j < d; j++ {
+				p := space.Param(j)
+				span := p.Span() * scale
+				x[j] = p.Clamp(center[j] + (rng.Float64()*2-1)*span)
+			}
+			f := obj(x)
+			res.Evaluations++
+			if f < local {
+				local, center = f, x
+				scale *= shrink
+				fails = 0
+				if f < res.BestFitness {
+					res.BestFitness = f
+					res.Best = append([]float64(nil), x...)
+				}
+			} else if fails++; fails >= 8 {
+				scale *= shrink
+				fails = 0
+			}
+		}
+	}
+	return res
+}
+
+// Pattern implements coordinate pattern search (Hooke-Jeeves style): poll
+// ± a step along each axis from the incumbent, halving the step on
+// failure. Its slow local convergence on this space is the paper's reason
+// to prefer GA.
+func Pattern(space *conf.Space, obj Objective, budget int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	d := space.Len()
+	x := space.Random(rng).Vector()
+	fx := obj(x)
+	res := Result{Best: append([]float64(nil), x...), BestFitness: fx, Evaluations: 1}
+
+	scale := 0.25
+	for res.Evaluations < budget && scale > 0.001 {
+		improved := false
+		for j := 0; j < d && res.Evaluations < budget; j++ {
+			p := space.Param(j)
+			step := p.Span() * scale
+			if p.Kind != conf.Float && step < 1 {
+				step = 1
+			}
+			for _, dir := range []float64{+1, -1} {
+				cand := append([]float64(nil), x...)
+				cand[j] = p.Clamp(x[j] + dir*step)
+				if cand[j] == x[j] {
+					continue
+				}
+				f := obj(cand)
+				res.Evaluations++
+				if f < fx {
+					x, fx = cand, f
+					improved = true
+					break
+				}
+			}
+		}
+		if fx < res.BestFitness {
+			res.BestFitness = fx
+			res.Best = append([]float64(nil), x...)
+		}
+		if !improved {
+			scale /= 2
+		}
+	}
+	return res
+}

@@ -1,0 +1,227 @@
+package sparksim
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+)
+
+// serProps captures the cost/size behaviour of a serializer choice.
+type serProps struct {
+	// secPerMB is serialization CPU time per MB on one reference core;
+	// deserialization costs roughly the same.
+	secPerMB float64
+	// sizeFactor is serialized size relative to the raw data volume
+	// (Java serialization bloats, Kryo is compact).
+	sizeFactor float64
+	// churnFactor scales object allocation churn, which feeds the GC
+	// model (Java serialization allocates far more).
+	churnFactor float64
+}
+
+// codecProps captures a compression codec's speed and ratio.
+type codecProps struct {
+	// compressMBps is single-core compression throughput; decompression
+	// runs at roughly twice that.
+	compressMBps float64
+	// ratio is compressed size / raw size for shuffle-like data.
+	ratio float64
+}
+
+// env is everything the simulator derives once per run from the cluster
+// and the configuration vector before walking the DAG.
+type env struct {
+	cl   cluster.Cluster
+	conf conf.Config
+	opt  Options
+
+	// Executor sizing.
+	executorsPerNode int
+	executors        int
+	coresPerExecutor int
+	slots            int // cluster-wide concurrent tasks
+	slotsPerNode     int
+
+	// Unified memory manager, per executor (MB).
+	heapMB       float64 // JVM heap (spark.executor.memory)
+	usableMB     float64 // (heap - 300MB) * spark.memory.fraction + off-heap
+	storageCapMB float64 // cache capacity
+	execBaseMB   float64 // execution pool before borrowing
+	offHeapMB    float64
+	userMB       float64 // (heap-300)*(1-fraction): user data structures
+
+	// Driver.
+	driverHeapMB   float64
+	driverUsableMB float64
+	driverCores    int
+
+	// Serialization / compression.
+	ser                                            serProps
+	codec                                          codecProps
+	kryo                                           bool
+	shuffleComp, spillComp, rddComp, broadcastComp bool
+
+	// Cached-RDD bookkeeping (MB held in storage memory, cluster-wide).
+	cachedMB   float64
+	cacheHit   float64 // hit ratio for the most recent capacity check
+	cacheRawMB float64 // logical (uncompressed) volume represented
+
+	// cachedExpansion is cached-block size per MB of raw data.
+	cachedExpansion float64
+	// cachedReadSecPerMB is extra CPU per MB when reading the cache
+	// (decompression + deserialization for serialized caches).
+	cachedReadSecPerMB float64
+}
+
+// reservedHeapMB is Spark 1.6's fixed reserved memory.
+const reservedHeapMB = 300
+
+// deserExpansion is the in-memory size of deserialized Java objects per MB
+// of raw data (pointer and header overhead).
+const deserExpansion = 2.5
+
+func newEnv(cl cluster.Cluster, cfg conf.Config, opt Options) *env {
+	e := &env{cl: cl, conf: cfg, opt: opt}
+
+	// --- Executor sizing -------------------------------------------------
+	cores := cfg.GetInt(conf.ExecutorCores)
+	if cores < 1 {
+		cores = 1
+	}
+	heap := float64(cfg.GetInt(conf.ExecutorMemory))
+	// YARN-style overhead: max(384MB, 10% of heap) of extra physical
+	// memory per executor process.
+	overhead := math.Max(384, 0.10*heap)
+	offHeap := 0.0
+	if cfg.GetBool(conf.MemoryOffHeapEnabled) {
+		offHeap = float64(cfg.GetInt(conf.MemoryOffHeapSize))
+	}
+	procMB := heap + overhead + offHeap
+
+	byCores := cl.CoresPerNode / cores
+	byMem := int(cl.MemoryPerNodeMB / procMB)
+	perNode := byCores
+	if byMem < perNode {
+		perNode = byMem
+	}
+	if perNode < 1 {
+		perNode = 1 // a 12288MB max heap always fits one executor per 64GB node
+	}
+	e.executorsPerNode = perNode
+	e.executors = perNode * cl.Workers
+	e.coresPerExecutor = cores
+	e.slots = e.executors * cores
+	e.slotsPerNode = perNode * cores
+
+	// --- Unified memory manager (Spark 1.6, SPARK-10000) ----------------
+	frac := cfg.Get(conf.MemoryFraction)
+	storFrac := cfg.Get(conf.MemoryStorageFraction)
+	usableHeap := math.Max(0, heap-reservedHeapMB) * frac
+	e.heapMB = heap
+	e.offHeapMB = offHeap
+	e.usableMB = usableHeap + offHeap
+	e.userMB = math.Max(0, heap-reservedHeapMB) * (1 - frac)
+	// Storage is guaranteed storFrac of the pool; execution can evict
+	// cached blocks above that watermark, so in practice the cache keeps
+	// the immune region plus about half of the contested region.
+	e.storageCapMB = e.usableMB * (storFrac + 0.5*(1-storFrac))
+	e.execBaseMB = e.usableMB * (1 - storFrac)
+
+	// --- Driver ----------------------------------------------------------
+	e.driverHeapMB = float64(cfg.GetInt(conf.DriverMemory))
+	e.driverUsableMB = math.Max(0, e.driverHeapMB-reservedHeapMB) * 0.9
+	e.driverCores = cfg.GetInt(conf.DriverCores)
+	if e.driverCores > cl.MasterCores {
+		e.driverCores = cl.MasterCores
+	}
+
+	// --- Serializer ------------------------------------------------------
+	e.kryo = cfg.GetInt(conf.Serializer) == conf.SerializerKryo
+	if e.kryo {
+		e.ser = serProps{secPerMB: 0.035, sizeFactor: 1.0, churnFactor: 1.0}
+		if cfg.GetBool(conf.KryoReferenceTracking) {
+			e.ser.secPerMB *= 1.30
+		}
+		// An undersized Kryo buffer forces copy-and-grow cycles on
+		// large records; an oversized one wastes per-task memory (it
+		// is charged to the task working set elsewhere).
+		bufMaxMB := float64(cfg.GetInt(conf.KryoserializerBufferMax))
+		if bufMaxMB < 32 {
+			e.ser.secPerMB *= 1 + 0.05*math.Log2(32/bufMaxMB)
+		}
+	} else {
+		e.ser = serProps{secPerMB: 0.12, sizeFactor: 1.6, churnFactor: 2.2}
+	}
+
+	// --- Compression codec ----------------------------------------------
+	switch cfg.GetInt(conf.IOCompressionCodec) {
+	case conf.CodecLZF:
+		e.codec = codecProps{compressMBps: 150, ratio: 0.45}
+	case conf.CodecLZ4:
+		e.codec = codecProps{compressMBps: 300, ratio: 0.52}
+		blk := float64(cfg.GetInt(conf.IOCompressionLZ4Block))
+		e.codec.ratio *= blockRatioAdjust(blk)
+	default: // snappy
+		e.codec = codecProps{compressMBps: 250, ratio: 0.50}
+		blk := float64(cfg.GetInt(conf.IOCompressionSnappyBlock))
+		e.codec.ratio *= blockRatioAdjust(blk)
+	}
+	e.shuffleComp = cfg.GetBool(conf.ShuffleCompress)
+	e.spillComp = cfg.GetBool(conf.ShuffleSpillCompress)
+	e.rddComp = cfg.GetBool(conf.RDDCompress)
+	e.broadcastComp = cfg.GetBool(conf.BroadcastCompress)
+
+	// --- Cache representation -------------------------------------------
+	if e.rddComp {
+		// spark.rdd.compress caches serialized, compressed blocks:
+		// small but costly to read back every iteration.
+		e.cachedExpansion = e.ser.sizeFactor * e.codec.ratio
+		e.cachedReadSecPerMB = e.ser.secPerMB + 1/(2*e.codec.compressMBps)
+	} else {
+		// Default MEMORY_ONLY caches deserialized objects: large but
+		// free to read.
+		e.cachedExpansion = deserExpansion
+		e.cachedReadSecPerMB = 0
+	}
+	return e
+}
+
+// blockRatioAdjust nudges a codec's compression ratio for its block size:
+// larger blocks compress slightly better. 32KB is the reference point.
+func blockRatioAdjust(blockKB float64) float64 {
+	adj := 1 - 0.02*math.Log2(blockKB/32)
+	return math.Min(1.08, math.Max(0.92, adj))
+}
+
+// clusterStorageMB is the cluster-wide cache capacity.
+func (e *env) clusterStorageMB() float64 {
+	return e.storageCapMB * float64(e.executors)
+}
+
+// cacheAdd registers rawMB of logical data persisted to the cache and
+// refreshes the hit ratio for subsequent cached reads.
+func (e *env) cacheAdd(rawMB float64) {
+	e.cacheRawMB += rawMB
+	e.cachedMB = e.cacheRawMB * e.cachedExpansion
+	cap := e.clusterStorageMB()
+	if e.cachedMB <= 0 || cap <= 0 {
+		e.cacheHit = 0
+		return
+	}
+	e.cacheHit = math.Min(1, cap/e.cachedMB)
+}
+
+// execMemPerTaskMB is the execution memory available to one concurrently
+// running task. Under the unified memory manager execution may evict
+// cached blocks down to the storageFraction watermark, so the execution
+// pool is the usable region minus whatever cache residency is immune.
+func (e *env) execMemPerTaskMB() float64 {
+	resident := math.Min(e.cachedMB/math.Max(1, float64(e.executors)), e.storageCapMB)
+	immune := e.usableMB * e.conf.Get(conf.MemoryStorageFraction)
+	pool := e.usableMB - math.Min(resident, immune)
+	if pool < 0 {
+		pool = 0
+	}
+	return pool / float64(e.coresPerExecutor)
+}

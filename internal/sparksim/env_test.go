@@ -1,0 +1,149 @@
+package sparksim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+)
+
+func envFor(t *testing.T, mutate func(conf.Config)) *env {
+	t.Helper()
+	cfg := conf.StandardSpace().Default()
+	if mutate != nil {
+		mutate(cfg)
+	}
+	return newEnv(cluster.Standard(), cfg, Options{})
+}
+
+func TestExecutorSizingCoreBound(t *testing.T) {
+	// Default: 12 cores per executor, 1 GB heap: cores bind first.
+	e := envFor(t, nil)
+	if e.executorsPerNode != 6 { // 72 cores / 12
+		t.Errorf("executorsPerNode = %d, want 6", e.executorsPerNode)
+	}
+	if e.slots != 6*12*5 {
+		t.Errorf("slots = %d, want 360", e.slots)
+	}
+}
+
+func TestExecutorSizingMemoryBound(t *testing.T) {
+	// 12 GB heap + overhead ≈ 13.5 GB per executor: memory binds at 4
+	// per node even with 1-core executors.
+	e := envFor(t, func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 12288)
+		c.Set(conf.ExecutorCores, 1)
+	})
+	if e.executorsPerNode != 4 {
+		t.Errorf("executorsPerNode = %d, want 4 (memory bound)", e.executorsPerNode)
+	}
+}
+
+func TestUnifiedMemoryPools(t *testing.T) {
+	e := envFor(t, func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 4096)
+		c.Set(conf.MemoryFraction, 0.75)
+		c.Set(conf.MemoryStorageFraction, 0.5)
+	})
+	wantUsable := (4096.0 - 300) * 0.75
+	if e.usableMB != wantUsable {
+		t.Errorf("usableMB = %v, want %v", e.usableMB, wantUsable)
+	}
+	if e.userMB != (4096.0-300)*0.25 {
+		t.Errorf("userMB = %v", e.userMB)
+	}
+}
+
+func TestOffHeapAddsToUsable(t *testing.T) {
+	base := envFor(t, nil)
+	off := envFor(t, func(c conf.Config) {
+		c.SetBool(conf.MemoryOffHeapEnabled, true)
+		c.Set(conf.MemoryOffHeapSize, 1000)
+	})
+	if off.usableMB <= base.usableMB {
+		t.Errorf("off-heap did not grow usable memory: %v vs %v", off.usableMB, base.usableMB)
+	}
+}
+
+func TestSerializerProperties(t *testing.T) {
+	java := envFor(t, nil)
+	kryo := envFor(t, func(c conf.Config) { c.Set(conf.Serializer, conf.SerializerKryo) })
+	if kryo.ser.secPerMB >= java.ser.secPerMB {
+		t.Error("kryo should serialize cheaper than java")
+	}
+	if kryo.ser.sizeFactor >= java.ser.sizeFactor {
+		t.Error("kryo should be more compact than java")
+	}
+	// Reference tracking costs CPU.
+	noTrack := envFor(t, func(c conf.Config) {
+		c.Set(conf.Serializer, conf.SerializerKryo)
+		c.SetBool(conf.KryoReferenceTracking, false)
+	})
+	if noTrack.ser.secPerMB >= kryo.ser.secPerMB {
+		t.Error("disabling reference tracking should cut serialization CPU")
+	}
+}
+
+func TestCodecProperties(t *testing.T) {
+	for _, tc := range []struct {
+		codec int
+		name  string
+	}{{conf.CodecSnappy, "snappy"}, {conf.CodecLZF, "lzf"}, {conf.CodecLZ4, "lz4"}} {
+		e := envFor(t, func(c conf.Config) { c.Set(conf.IOCompressionCodec, float64(tc.codec)) })
+		if e.codec.ratio <= 0 || e.codec.ratio >= 1 {
+			t.Errorf("%s ratio %v out of (0,1)", tc.name, e.codec.ratio)
+		}
+		if e.codec.compressMBps <= 0 {
+			t.Errorf("%s speed %v", tc.name, e.codec.compressMBps)
+		}
+	}
+}
+
+func TestRDDCompressionChangesCacheRepresentation(t *testing.T) {
+	plain := envFor(t, nil)
+	comp := envFor(t, func(c conf.Config) { c.SetBool(conf.RDDCompress, true) })
+	if comp.cachedExpansion >= plain.cachedExpansion {
+		t.Error("compressed cache should be smaller per raw MB")
+	}
+	if comp.cachedReadSecPerMB <= plain.cachedReadSecPerMB {
+		t.Error("compressed cache should cost CPU to read")
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	e := envFor(t, func(c conf.Config) { c.Set(conf.ExecutorMemory, 8192) })
+	e.cacheAdd(1000) // 1 GB raw, deserialized 2.5 GB, plenty of room
+	if e.cacheHit != 1 {
+		t.Errorf("small cache add should fully fit: hit=%v", e.cacheHit)
+	}
+	e.cacheAdd(1e6) // a TB: cannot fit
+	if e.cacheHit >= 0.5 {
+		t.Errorf("oversized cache should miss: hit=%v", e.cacheHit)
+	}
+}
+
+func TestExecMemPerTaskShrinksWithResidentCache(t *testing.T) {
+	e := envFor(t, func(c conf.Config) { c.Set(conf.ExecutorMemory, 8192) })
+	before := e.execMemPerTaskMB()
+	e.cacheAdd(1e5) // fill storage
+	after := e.execMemPerTaskMB()
+	if after >= before {
+		t.Errorf("resident cache should squeeze execution memory: %v -> %v", before, after)
+	}
+	// But never below the evictable watermark.
+	if after <= 0 {
+		t.Errorf("execution memory cannot be starved to zero: %v", after)
+	}
+}
+
+func TestBlockRatioAdjustBounds(t *testing.T) {
+	for _, blk := range []float64{2, 32, 128} {
+		v := blockRatioAdjust(blk)
+		if v < 0.92 || v > 1.08 {
+			t.Errorf("blockRatioAdjust(%v) = %v out of bounds", blk, v)
+		}
+	}
+	if blockRatioAdjust(128) >= blockRatioAdjust(2) {
+		t.Error("bigger blocks should compress better (smaller ratio)")
+	}
+}

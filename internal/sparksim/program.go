@@ -1,0 +1,138 @@
+// Package sparksim is a discrete-event simulator of an in-memory cluster
+// computing (IMC) framework in the style of Spark 1.6. It is the substrate
+// the paper ran on a physical cluster: given a workload expressed as a DAG
+// of stages, an input dataset size, and a 41-parameter configuration
+// (internal/conf), it produces an execution time plus a per-stage breakdown
+// (compute, shuffle, spill, GC) — the quantity DAC's models learn.
+//
+// The simulator is mechanistic, not curve-fit: every Table 2 parameter is
+// wired to the mechanism Spark documents for it (executor sizing, unified
+// memory management, sort/hash shuffle, serialization and compression
+// codecs, speculation, locality wait, network timeouts, ...). Execution is
+// deterministic for a given (seed, program, datasize, configuration), with
+// run-to-run noise available via distinct run seeds.
+package sparksim
+
+import "fmt"
+
+// Stage describes one Spark stage: a set of parallel tasks separated from
+// neighbouring stages by shuffle (or job) boundaries. Data volumes are
+// expressed as fractions of the job's input size so a single description
+// scales across dataset sizes.
+type Stage struct {
+	// Name labels the stage in results (e.g. "iterate", "stage2").
+	Name string
+
+	// Repeat is how many times the stage executes back to back (an
+	// iterative group, such as KMeans' aggregate/collect loop). Zero
+	// means once.
+	Repeat int
+
+	// InputFrac is the stage's input volume as a fraction of the job
+	// input (on-disk, uncompressed MB). For stages that read a cached
+	// RDD or shuffle output this is still the logical volume processed.
+	InputFrac float64
+
+	// ShuffleFrac is the map-output volume this stage writes for the
+	// next stage, as a fraction of job input (pre-serialization,
+	// pre-compression MB).
+	ShuffleFrac float64
+
+	// ReadsShuffle marks the stage as consuming the previous stage's
+	// shuffle output; ShuffleInFrac is that volume relative to job input.
+	// A stage may read both a cached RDD (CacheInput + InputFrac) and a
+	// shuffle (a join's two sides); a stage with neither reads InputFrac
+	// fresh from the distributed filesystem.
+	ReadsShuffle  bool
+	ShuffleInFrac float64
+
+	// OutputFrac is the volume written to the distributed filesystem at
+	// stage end (3-way replicated), as a fraction of job input.
+	OutputFrac float64
+
+	// CPUSecPerMB is the pure compute cost per MB of stage input for one
+	// 1.9 GHz core (the paper's testbed clock). Workloads set this from
+	// their per-stage characterization (§4.1).
+	CPUSecPerMB float64
+
+	// MemExpansion is the per-task working set in MB per MB of task
+	// input: deserialized objects plus aggregation state. Execution
+	// memory pressure, spills, and OOMs derive from it.
+	MemExpansion float64
+
+	// CacheInput means the stage reads a previously cached RDD; cache
+	// misses fall back to disk plus recompute.
+	CacheInput bool
+
+	// CacheOutputFrac is the fraction of job input this stage persists
+	// to storage memory for later stages.
+	CacheOutputFrac float64
+
+	// MapSideCombine enables map-side aggregation, which disqualifies
+	// the sort-shuffle bypass path (spark.shuffle.sort.bypassMergeThreshold).
+	MapSideCombine bool
+
+	// CollectMB and CollectFrac describe results returned to the driver
+	// per stage execution: an absolute volume plus a job-input-relative
+	// one (both MB).
+	CollectMB   float64
+	CollectFrac float64
+
+	// BroadcastMB is broadcast from the driver to all executors at stage
+	// start (e.g. KMeans centroids), per execution.
+	BroadcastMB float64
+
+	// MinTasks floors the stage's task count regardless of
+	// spark.default.parallelism (e.g. one task per HDFS block on input
+	// stages).
+	MinTasks int
+
+	// SkewFactor multiplies the largest task's share of data (1 =
+	// uniform partitions). Skew creates stragglers that speculation can
+	// mitigate.
+	SkewFactor float64
+}
+
+// Times returns how many times the stage body executes.
+func (s *Stage) Times() int {
+	if s.Repeat <= 0 {
+		return 1
+	}
+	return s.Repeat
+}
+
+// Program is a workload: an ordered list of stages executed with a shuffle
+// barrier between consecutive stages (Spark's DAG scheduler semantics for a
+// linear lineage; the six HiBench programs all reduce to this shape).
+type Program struct {
+	// Name identifies the program ("pagerank", "terasort", ...).
+	Name string
+	// Stages run in order.
+	Stages []Stage
+}
+
+// Validate reports the first structural problem in the program, or nil.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("sparksim: program has no name")
+	}
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("sparksim: program %q has no stages", p.Name)
+	}
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		if st.Name == "" {
+			return fmt.Errorf("sparksim: %s stage %d has no name", p.Name, i)
+		}
+		if st.InputFrac < 0 || st.ShuffleFrac < 0 || st.ShuffleInFrac < 0 {
+			return fmt.Errorf("sparksim: %s stage %q has negative data volume", p.Name, st.Name)
+		}
+		if st.ReadsShuffle && i == 0 {
+			return fmt.Errorf("sparksim: %s stage %q reads shuffle but is first", p.Name, st.Name)
+		}
+		if st.CPUSecPerMB < 0 || st.MemExpansion < 0 {
+			return fmt.Errorf("sparksim: %s stage %q has negative cost", p.Name, st.Name)
+		}
+	}
+	return nil
+}

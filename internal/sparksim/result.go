@@ -1,0 +1,59 @@
+package sparksim
+
+// StageResult is the per-stage breakdown the paper reports in Figs. 13–14.
+// All times are simulated seconds, summed over the stage's Repeat
+// executions.
+type StageResult struct {
+	Name string
+	// Sec is the stage's wall-clock contribution to the job.
+	Sec float64
+	// GCSec is the JVM garbage-collection time charged inside Sec.
+	GCSec float64
+	// ShuffleReadSec and ShuffleWriteSec are the shuffle I/O components.
+	ShuffleReadSec  float64
+	ShuffleWriteSec float64
+	// SpillSec is time spent spilling execution memory to disk.
+	SpillSec float64
+	// Tasks is the number of task attempts launched (including retries
+	// and speculative copies); Failed counts attempts that died (OOM,
+	// fetch failure).
+	Tasks  int
+	Failed int
+	// SpillMB is the volume spilled to disk.
+	SpillMB float64
+}
+
+// Result is the outcome of one simulated job execution.
+type Result struct {
+	// TotalSec is the job's wall-clock execution time in simulated
+	// seconds — the t_i of the paper's performance vectors (Eq. 5).
+	TotalSec float64
+	// Aborted is set when the job exceeded spark.task.maxFailures and
+	// the framework gave it up; TotalSec then includes the wasted
+	// attempts plus the rerun the operator would need (the paper's
+	// default-configuration runs exhibit exactly these rerun storms).
+	Aborted bool
+	// Stages holds the per-stage breakdown in program order.
+	Stages []StageResult
+	// Executors is the total executor count the configuration yields;
+	// Slots is the cluster-wide concurrent task capacity.
+	Executors int
+	Slots     int
+	// GCSec is the job-total GC time.
+	GCSec float64
+	// SpillMB is the job-total spill volume.
+	SpillMB float64
+	// TasksLaunched and TasksFailed aggregate across stages.
+	TasksLaunched int
+	TasksFailed   int
+}
+
+// Stage returns the result for the named stage, or nil if absent.
+func (r *Result) Stage(name string) *StageResult {
+	for i := range r.Stages {
+		if r.Stages[i].Name == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package sparksim
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+)
+
+// Simulator executes Programs on a modelled cluster. It is safe for
+// concurrent use: Run shares no mutable state between calls.
+type Simulator struct {
+	// Cluster is the modelled hardware; use cluster.Standard() for the
+	// paper's testbed.
+	Cluster cluster.Cluster
+	// Opt selects simulator mechanisms (zero value = everything on).
+	Opt Options
+	// Seed makes runs reproducible. Two simulators with the same seed
+	// produce identical results for identical inputs.
+	Seed int64
+}
+
+// New returns a Simulator over the given cluster with all mechanisms
+// enabled.
+func New(cl cluster.Cluster, seed int64) *Simulator {
+	return &Simulator{Cluster: cl, Seed: seed}
+}
+
+// Run simulates one execution of program p over inputMB megabytes of input
+// under configuration cfg and returns the timing breakdown. The result is
+// deterministic in (Seed, p.Name, inputMB, cfg).
+func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result {
+	if err := p.Validate(); err != nil {
+		panic(err) // programs are compile-time constants in this module
+	}
+	e := newEnv(sim.Cluster, cfg, sim.Opt)
+	rng := rand.New(rand.NewSource(sim.runSeed(p, inputMB, cfg)))
+
+	res := &Result{
+		Executors: e.executors,
+		Slots:     e.slots,
+		Stages:    make([]StageResult, len(p.Stages)),
+	}
+	maxFail := cfg.GetInt(conf.TaskMaxFailures)
+
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		sr := &res.Stages[i]
+		sr.Name = st.Name
+		for rep := 0; rep < st.Times(); rep++ {
+			out := sim.runStage(e, st, inputMB, rng, maxFail)
+			if out.aborted {
+				// The framework gave the job up after
+				// spark.task.maxFailures failures of some task in this
+				// stage. The operator's only recourse is rerunning the
+				// job, which fails again under the same configuration:
+				// the stage is charged three abandoned attempts, the
+				// whole job keeps executing (so the cost stays
+				// monotone in the remaining work), and the final time
+				// carries a rerun penalty. This keeps failing
+				// configurations strictly worse than completing ones —
+				// a tuner must never prefer a crash.
+				res.Aborted = true
+				out.sec *= 3
+			}
+			sr.Sec += out.sec
+			sr.GCSec += out.gcSec
+			sr.ShuffleReadSec += out.shuffleReadSec
+			sr.ShuffleWriteSec += out.shuffleWriteSec
+			sr.SpillSec += out.spillSec
+			sr.SpillMB += out.spillMB
+			sr.Tasks += out.tasks
+			sr.Failed += out.failedTasks
+			res.TotalSec += out.sec
+			res.GCSec += out.gcSec
+			res.SpillMB += out.spillMB
+			res.TasksLaunched += out.tasks
+			res.TasksFailed += out.failedTasks
+		}
+		if st.CacheOutputFrac > 0 {
+			e.cacheAdd(st.CacheOutputFrac * inputMB)
+		}
+	}
+	if res.Aborted {
+		res.TotalSec = res.TotalSec*1.5 + 300
+	}
+	return res
+}
+
+// runSeed derives the deterministic per-run RNG seed.
+func (sim *Simulator) runSeed(p *Program, inputMB float64, cfg conf.Config) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Name))
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(inputMB)
+	put(float64(sim.Seed))
+	for _, v := range cfg.Vector() {
+		put(v)
+	}
+	return int64(h.Sum64())
+}
+
+// stageOutcome carries one stage execution's accounting.
+type stageOutcome struct {
+	sec             float64
+	gcSec           float64
+	shuffleReadSec  float64
+	shuffleWriteSec float64
+	spillSec        float64
+	spillMB         float64
+	tasks           int
+	failedTasks     int
+	aborted         bool
+}
+
+// taskModel is the average per-task cost decomposition computed once per
+// stage; the event loop then perturbs it per task.
+type taskModel struct {
+	cpuSec   float64 // compute + ser/deser + compression
+	diskSec  float64 // local disk reads/writes (input, shuffle write, spill)
+	netSec   float64 // shuffle fetch, cache misses over the network
+	fixedSec float64 // latency-like terms not subject to contention
+
+	gcSec           float64
+	shuffleReadSec  float64
+	shuffleWriteSec float64
+	spillSec        float64
+	spillMB         float64
+	oomAttempts     int     // failed attempts before success (0 = clean)
+	oomFrac         float64 // fractional attempt count (continuous in the deficit)
+	abort           bool
+	wastedSec       float64 // time burned by failed attempts
+}
+
+func (sim *Simulator) runStage(e *env, st *Stage, inputMB float64, rng *rand.Rand, maxFail int) stageOutcome {
+	cfg := e.conf
+	cl := sim.Cluster
+	stageIn := st.InputFrac * inputMB
+
+	// --- Task count -------------------------------------------------------
+	par := cfg.GetInt(conf.DefaultParallelism)
+	var tasks int
+	if st.ReadsShuffle {
+		tasks = par
+	} else {
+		tasks = int(math.Ceil(stageIn / 128)) // one task per 128MB HDFS block
+	}
+	if tasks < st.MinTasks {
+		tasks = st.MinTasks
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+
+	// Local execution: trivially small driver-side jobs skip the cluster.
+	// The stage's total volume — fresh input plus shuffle input — must be
+	// tiny and it must not feed a shuffle.
+	totalIn := stageIn + st.ShuffleInFrac*inputMB
+	if cfg.GetBool(conf.LocalExecutionEnabled) && totalIn < 64 && st.ShuffleFrac == 0 {
+		cpu := totalIn * st.CPUSecPerMB * (1.9 / cl.CPUGHz) / math.Max(1, float64(e.driverCores))
+		return stageOutcome{sec: cpu + 0.05, tasks: 1}
+	}
+
+	perTask := stageIn / float64(tasks)
+	tm := sim.taskCosts(e, st, inputMB, perTask, tasks, maxFail)
+
+	// --- Per-task durations and the event loop ----------------------------
+	// The primary buckets are additive; shuffle and spill attributions are
+	// subsets of them and are reported separately, not re-added.
+	base := tm.cpuSec + tm.diskSec + tm.netSec + tm.fixedSec + tm.gcSec
+	durs := make([]float64, tasks)
+	sigma := sim.Opt.noiseSigma()
+	// Partition skew belongs to the dataset, not the run: the same 8% of
+	// partitions are oversized on every execution, with multipliers
+	// spread deterministically up to SkewFactor.
+	nSkew := 0
+	if st.SkewFactor > 1 {
+		nSkew = (tasks + 11) / 12
+	}
+	for i := range durs {
+		d := base
+		if i < nSkew {
+			frac := float64(i+1) / float64(nSkew)
+			d *= 1 + (st.SkewFactor-1)*frac
+		}
+		if sigma > 0 {
+			d *= math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+			if rng.Float64() < 0.004 { // environmental straggler
+				d *= 1.3 + 0.7*rng.Float64()
+			}
+		}
+		durs[i] = d
+	}
+
+	// Speculative execution trims the straggler tail.
+	if cfg.GetBool(conf.Speculation) && !sim.Opt.DisableSpeculation && tasks >= 4 {
+		med := medianOf(durs)
+		mult := cfg.Get(conf.SpeculationMultiplier)
+		quant := cfg.Get(conf.SpeculationQuantile)
+		intervalSec := cfg.Get(conf.SpeculationInterval) / 1000
+		thresh := mult * med
+		// A copy launches once the quantile of tasks has finished and
+		// the straggler exceeds the threshold; it completes in about a
+		// median duration.
+		copyDone := math.Max(thresh, quant*med) + intervalSec + med
+		for i, d := range durs {
+			if d > thresh && copyDone < d {
+				durs[i] = copyDone
+			}
+		}
+	}
+
+	span, launches := scheduleTasks(durs, e.slots)
+
+	// --- Stage-level overheads --------------------------------------------
+	over := 0.0
+	// Task launch and control-plane messaging.
+	akkaThreads := float64(cfg.GetInt(conf.AkkaThreads))
+	over += float64(tasks) * (0.004 + 0.0008/akkaThreads)
+	// Scheduler revive latency: one before the stage plus a sliver per wave.
+	revive := cfg.Get(conf.SchedulerReviveInterval)
+	waves := math.Ceil(float64(tasks) / float64(e.slots))
+	over += 0.3*revive + 0.04*revive*waves
+	// Heartbeat processing cost, inversely proportional to the interval.
+	over += span * 0.00002 * (5000 / math.Max(200, cfg.Get(conf.AkkaHeartbeatInterval)))
+
+	// Broadcast variables at stage start.
+	if st.BroadcastMB > 0 {
+		over += sim.broadcastCost(e, st.BroadcastMB)
+	}
+
+	// Per-task components convert to wall-clock contributions via the
+	// average pipeline depth (tasks/slots waves).
+	out := stageOutcome{
+		tasks:           launches + tasks*tm.oomAttempts,
+		failedTasks:     tasks * tm.oomAttempts,
+		gcSec:           tm.gcSec * wallShare(tasks, e.slots),
+		shuffleReadSec:  tm.shuffleReadSec * wallShare(tasks, e.slots),
+		shuffleWriteSec: tm.shuffleWriteSec * wallShare(tasks, e.slots),
+		spillSec:        tm.spillSec * wallShare(tasks, e.slots),
+		spillMB:         tm.spillMB * float64(tasks),
+		aborted:         tm.abort,
+	}
+
+	// Wasted time from failed attempts extends the critical path roughly
+	// by the per-slot share of the rerun work.
+	wasted := tm.wastedSec * float64(tasks) / float64(e.slotsOr1())
+	sec := span + over + wasted
+
+	// Collect results to the driver.
+	if st.CollectMB > 0 || st.CollectFrac > 0 {
+		cSec, abort := sim.collectCost(e, st.CollectMB+st.CollectFrac*inputMB)
+		sec += cSec
+		if abort {
+			out.aborted = true
+		}
+	}
+
+	// Spurious executor loss: a long GC pause beyond the Akka failure
+	// detector threshold makes the master declare the executor dead and
+	// rerun its tasks.
+	if !sim.Opt.DisableGC {
+		occPause := e.heapMB / 1024 * 0.25 * gcOccupancy(e, st, totalIn/float64(tasks))
+		if occPause > cfg.Get(conf.AkkaFailureDetector)*0.01 {
+			sec *= 1.30
+		}
+	}
+
+	out.sec = sec
+	return out
+}
+
+func (e *env) slotsOr1() int {
+	if e.slots < 1 {
+		return 1
+	}
+	return e.slots
+}
+
+// wallShare converts a per-task time component into its expected
+// wall-clock contribution: components execute tasks/slots deep on average.
+func wallShare(tasks, slots int) float64 {
+	if slots < 1 {
+		slots = 1
+	}
+	return math.Ceil(float64(tasks)/float64(slots)) * 1.0
+}
+
+// medianOf returns the median without modifying xs.
+func medianOf(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// slotHeap is a min-heap of slot-available times.
+type slotHeap []float64
+
+func (h slotHeap) Len() int            { return len(h) }
+func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// scheduleTasks runs the list-scheduling event loop: each task goes to the
+// earliest-free slot. It returns the stage makespan and the number of task
+// launches.
+func scheduleTasks(durs []float64, slots int) (span float64, launches int) {
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > len(durs) {
+		slots = len(durs)
+	}
+	h := make(slotHeap, slots)
+	heap.Init(&h)
+	maxFin := 0.0
+	for _, d := range durs {
+		t0 := heap.Pop(&h).(float64)
+		fin := t0 + d
+		heap.Push(&h, fin)
+		if fin > maxFin {
+			maxFin = fin
+		}
+	}
+	return maxFin, len(durs)
+}

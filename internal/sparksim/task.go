@@ -1,0 +1,312 @@
+package sparksim
+
+import (
+	"math"
+
+	"repro/internal/conf"
+)
+
+// taskCosts computes the average per-task cost decomposition for one stage
+// execution. The primary buckets (cpuSec, diskSec, netSec, fixedSec, gcSec)
+// are additive; shuffleReadSec, shuffleWriteSec and spillSec are
+// attribution subsets of the primary buckets kept for the per-stage
+// breakdown the paper reports (Figs. 13–14).
+func (sim *Simulator) taskCosts(e *env, st *Stage, inputMB, perTask float64, tasks, maxFail int) taskModel {
+	cfg := e.conf
+	cl := sim.Cluster
+	cpuScale := 1.9 / cl.CPUGHz // costs are calibrated for the testbed's 1.9 GHz cores
+
+	var tm taskModel
+	shuffleOut := st.ShuffleFrac * inputMB / float64(tasks)
+	shuffleIn := st.ShuffleInFrac * inputMB / float64(tasks)
+	reduceParts := cfg.GetInt(conf.DefaultParallelism)
+
+	// --- Input -------------------------------------------------------------
+	// Cached-RDD and shuffle inputs are independent (a join reads both);
+	// a stage with neither reads its input fresh from HDFS.
+	if st.CacheInput {
+		hit := e.cacheHit
+		memMB := perTask * hit
+		missMB := perTask * (1 - hit)
+		tm.cpuSec += memMB * e.cachedReadSecPerMB * cpuScale
+		// A cache miss re-reads the partition from HDFS and recomputes
+		// the lineage that produced it.
+		tm.diskSec += missMB / cl.DiskReadMBps
+		tm.cpuSec += missMB * st.CPUSecPerMB * 0.8 * cpuScale
+	}
+	if st.ReadsShuffle {
+		wireMB := shuffleIn * e.ser.sizeFactor
+		if e.shuffleComp {
+			wireMB *= e.codec.ratio
+			tm.cpuSec += wireMB / (2 * e.codec.compressMBps) * cpuScale // decompress
+		}
+		net := wireMB / cl.NetMBps
+		rounds := math.Ceil(wireMB / float64(cfg.GetInt(conf.ReducerMaxSizeInFlight)))
+		lat := rounds * (2*cl.NetLatencyMs + cl.DiskSeekMs) / 1000
+		deser := shuffleIn * e.ser.secPerMB * cpuScale
+		merge := shuffleIn * 0.008 * math.Log2(2+float64(reduceParts)) * cpuScale
+		tm.netSec += net
+		tm.fixedSec += lat
+		tm.cpuSec += deser + merge
+		tm.shuffleReadSec += net + lat + deser + merge
+	}
+	if !st.CacheInput && !st.ReadsShuffle {
+		read := perTask / cl.DiskReadMBps
+		// Blocks above the memory-map threshold read zero-copy.
+		if float64(cfg.GetInt(conf.StorageMemoryMapThreshold)) <= 128 {
+			read *= 0.93
+		}
+		tm.diskSec += read
+		tm.cpuSec += perTask * 0.01 * cpuScale // record parsing
+	}
+
+	// --- Compute -----------------------------------------------------------
+	// The stage's computation runs over everything it ingests: fresh or
+	// cached input plus shuffled-in data.
+	totalPerTask := perTask + shuffleIn
+	tm.cpuSec += totalPerTask * st.CPUSecPerMB * cpuScale
+
+	// --- Shuffle write -------------------------------------------------------
+	bufKB := float64(cfg.GetInt(conf.ShuffleFileBuffer))
+	shuffleBufMB := 0.0
+	if shuffleOut > 0 {
+		serMB := shuffleOut * e.ser.sizeFactor
+		w := shuffleOut * e.ser.secPerMB * cpuScale // serialize
+		diskMB := serMB
+		if e.shuffleComp {
+			diskMB *= e.codec.ratio
+			w += serMB / e.codec.compressMBps * cpuScale
+		}
+		wDisk := diskMB / cl.DiskWriteMBps
+		wFixed := 0.0
+
+		opens := 1.0
+		if cfg.GetInt(conf.ShuffleManager) == conf.ShuffleHash {
+			// Hash shuffle: one file per reduce partition per map
+			// task, unless consolidation reuses per-core files.
+			opens = float64(reduceParts)
+			if cfg.GetBool(conf.ShuffleConsolidateFiles) {
+				amort := float64(tasks) / float64(e.slotsOr1())
+				if amort > 1 {
+					opens /= amort
+				}
+			}
+			totalFiles := float64(tasks) * opens
+			if totalFiles > 20000 { // inode and page-cache pressure
+				wFixed += (totalFiles - 20000) * 1e-5 / float64(tasks)
+			}
+		} else {
+			// Sort shuffle, possibly via the bypass path.
+			if !st.MapSideCombine && reduceParts < cfg.GetInt(conf.ShuffleBypassMergeThresh) {
+				opens = float64(reduceParts)
+				wFixed += float64(reduceParts) * cl.DiskSeekMs / 1000 * 0.15
+			} else {
+				w += shuffleOut * 0.0025 * math.Log2(2+shuffleOut/64) * cpuScale // in-memory sort
+			}
+		}
+		wFixed += opens * cl.DiskSeekMs / 1000 * 0.2
+		// Small stream buffers flush constantly.
+		wFixed += diskMB / (bufKB / 1024) * 0.00004
+		shuffleBufMB = opens * bufKB / 1024
+
+		tm.cpuSec += w
+		tm.diskSec += wDisk
+		tm.fixedSec += wFixed
+		tm.shuffleWriteSec += w + wDisk + wFixed
+	}
+
+	// --- HDFS output -----------------------------------------------------------
+	if st.OutputFrac > 0 {
+		outMB := st.OutputFrac * inputMB / float64(tasks)
+		tm.cpuSec += outMB * 0.01 * cpuScale // encode records
+		tm.diskSec += outMB / cl.DiskWriteMBps
+		tm.netSec += 2 * outMB / cl.NetMBps // 3-way replication pipelines two remote copies
+	}
+
+	// --- Execution memory: spills and OOM -----------------------------------
+	work := totalPerTask*st.MemExpansion + shuffleBufMB
+	if st.ReadsShuffle {
+		work += float64(cfg.GetInt(conf.ReducerMaxSizeInFlight))
+	}
+	if e.kryo {
+		work += float64(cfg.GetInt(conf.KryoserializerBufferMax))
+	}
+	execMem := e.execMemPerTaskMB()
+
+	if work > execMem && execMem > 0 {
+		if cfg.GetBool(conf.ShuffleSpill) && !sim.Opt.DisableSpill {
+			// Hash aggregation rebuilds its map across spill-merge
+			// rounds, so its cost is convex in work/execMem — that is
+			// what makes undersized executors catastrophic rather than
+			// merely slow. A pure external sort streams each byte
+			// roughly twice no matter how deep the shortfall.
+			passes := 1.5
+			if st.MapSideCombine {
+				passes = 1 + 0.5*math.Min(4, work/execMem)
+			}
+			excess := (work - execMem) * passes
+			serMB := excess * e.ser.sizeFactor
+			sp := excess * e.ser.secPerMB * 1.5 * cpuScale // serialize + read back
+			diskMB := serMB
+			if e.spillComp {
+				diskMB *= e.codec.ratio
+				sp += serMB * 1.5 / e.codec.compressMBps * cpuScale
+			}
+			spDisk := diskMB * (1/cl.DiskWriteMBps + 1/cl.DiskReadMBps)
+			tm.cpuSec += sp
+			tm.diskSec += spDisk
+			tm.spillSec += sp + spDisk
+			tm.spillMB += diskMB
+		} else if !sim.Opt.DisableOOM {
+			// No spilling: the whole overflow is an OOM.
+			tm.oomLoop(work, execMem, execMem*float64(e.coresPerExecutor), maxFail)
+		}
+	}
+
+	// Even with spilling, unspillable state can exceed the task's share:
+	// in-flight fetch buffers always, plus pinned aggregation state for
+	// stages that build hash maps (map-side combine); pure sort/forward
+	// stages can spill almost everything.
+	if !sim.Opt.DisableOOM && execMem > 0 {
+		pinnedFrac := 0.03
+		if st.MapSideCombine {
+			pinnedFrac = 0.15
+		}
+		unspill := pinnedFrac * totalPerTask * st.MemExpansion
+		if st.ReadsShuffle {
+			unspill += float64(cfg.GetInt(conf.ReducerMaxSizeInFlight))
+		}
+		if unspill > execMem*1.2 {
+			pool := execMem * 1.2 * float64(e.coresPerExecutor)
+			tm.oomLoop(unspill, execMem*1.2, pool, maxFail)
+		}
+	}
+
+	// --- Garbage collection --------------------------------------------------
+	if !sim.Opt.DisableGC {
+		occ := gcOccupancy(e, st, totalPerTask)
+		churn := e.ser.churnFactor
+		if e.shuffleComp || e.rddComp {
+			churn *= 1.1 // compression buffers add allocation churn
+		}
+		gcFrac := 0.04 * churn * occ * occ / (1 - occ)
+		tm.gcSec = tm.cpuSec * gcFrac
+	}
+
+	// --- Node-level contention ------------------------------------------------
+	// Concurrent tasks on a node share its disk and NIC; scale the I/O
+	// components by the expected queueing factor.
+	conc := math.Min(float64(e.slotsPerNode), math.Ceil(float64(tasks)/float64(cl.Workers)))
+	tot := tm.cpuSec + tm.diskSec + tm.netSec + tm.fixedSec
+	if tot > 0 && conc > 1 {
+		diskDuty := tm.diskSec / tot
+		netDuty := tm.netSec / tot
+		dFac := math.Max(1, conc*diskDuty)
+		nFac := math.Max(1, conc*netDuty)
+		tm.diskSec *= dFac
+		tm.netSec *= nFac
+		// Keep the attribution subsets consistent.
+		tm.shuffleReadSec *= (1 + (nFac-1)*netDuty)
+		tm.shuffleWriteSec *= (1 + (dFac-1)*diskDuty)
+		tm.spillSec *= (1 + (dFac-1)*diskDuty)
+	}
+
+	// --- Wasted time per failed attempt ---------------------------------------
+	if tm.oomFrac > 0 {
+		attemptCost := 0.6 * (tm.cpuSec + tm.diskSec + tm.netSec + tm.fixedSec)
+		tm.wastedSec = tm.oomFrac * attemptCost
+	}
+
+	// --- Locality ---------------------------------------------------------------
+	// A slice of tasks misses its preferred node: it first waits up to
+	// spark.locality.wait, then runs remote, pulling its input over the
+	// network. Longer waits convert more remote tasks into delayed local
+	// ones.
+	wait := cfg.Get(conf.LocalityWait)
+	if st.CacheInput || !st.ReadsShuffle {
+		fNonLocal := 0.15 * 3 / (wait + 2)
+		remoteMB := perTask
+		if st.CacheInput {
+			remoteMB = perTask * e.cachedExpansion
+		}
+		tm.fixedSec += fNonLocal*(remoteMB/cl.NetMBps) + (0.15-fNonLocal)*wait*0.3
+	}
+
+	return tm
+}
+
+// oomLoop models repeated task attempts under memory pressure: a retried
+// task lands on an executor whose sibling slots have drained, so each
+// attempt sees roughly 1.8× more memory, up to the whole executor pool.
+// The job aborts when the attempt budget runs out first. The wasted-time
+// accounting uses the fractional attempt count so the cost is continuous
+// in the memory deficit (only the abort itself is a cliff).
+func (tm *taskModel) oomLoop(need, have, pool float64, maxFail int) {
+	attempts := 0
+	for need > have && attempts < maxFail {
+		attempts++
+		have = math.Min(pool, have*1.8)
+		if have >= pool && need > pool {
+			// The full executor cannot hold it; further retries
+			// cannot succeed.
+			attempts = maxFail
+			break
+		}
+	}
+	tm.oomAttempts += attempts
+	if need > have {
+		tm.abort = true
+	}
+	tm.oomFrac += math.Min(float64(maxFail), math.Max(0, math.Log(need/(have/ipow(1.8, attempts)))/math.Log(1.8)))
+}
+
+// ipow is x^n for small non-negative integer n.
+func ipow(x float64, n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= x
+	}
+	return v
+}
+
+// gcOccupancy estimates the executor heap occupancy during the stage;
+// perTask is the task's total ingested volume (fresh + cached + shuffle).
+func gcOccupancy(e *env, st *Stage, perTask float64) float64 {
+	resident := math.Min(e.cachedMB/math.Max(1, float64(e.executors)), e.storageCapMB)
+	work := perTask * st.MemExpansion
+	execMem := e.execMemPerTaskMB()
+	active := math.Min(work, execMem) * float64(e.coresPerExecutor)
+	occ := (resident + active + 0.3*e.userMB + reservedHeapMB) / math.Max(1, e.heapMB)
+	return math.Min(0.97, math.Max(0.05, occ))
+}
+
+// broadcastCost models torrent-broadcasting mb megabytes from the driver.
+func (sim *Simulator) broadcastCost(e *env, mb float64) float64 {
+	cfg := e.conf
+	wire := mb * e.ser.sizeFactor
+	cpu := mb * e.ser.secPerMB
+	if e.broadcastComp {
+		cpu += wire / e.codec.compressMBps
+		wire *= e.codec.ratio
+	}
+	blockMB := float64(cfg.GetInt(conf.BroadcastBlockSize))
+	pieces := math.Ceil(wire / blockMB)
+	// Torrent distribution: executors re-share pieces, so the driver
+	// uplink is traversed about twice regardless of cluster size.
+	return 2*wire/sim.Cluster.NetMBps + pieces*0.003 + cpu/math.Max(1, float64(e.driverCores))
+}
+
+// collectCost models returning mb megabytes of results to the driver. It
+// reports a job abort when the materialized results exceed the driver heap.
+func (sim *Simulator) collectCost(e *env, mb float64) (sec float64, abort bool) {
+	wire := mb * e.ser.sizeFactor
+	sec = wire/sim.Cluster.NetMBps + mb*e.ser.secPerMB/math.Max(1, float64(e.driverCores))
+	occ := mb * deserExpansion / math.Max(1, e.driverUsableMB)
+	if occ >= 1 {
+		return sec, true
+	}
+	if occ > 0.7 {
+		sec *= 1 + 2*(occ-0.7)/0.3 // driver GC thrash near the limit
+	}
+	return sec, false
+}

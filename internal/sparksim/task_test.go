@@ -1,0 +1,208 @@
+package sparksim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+)
+
+// shuffleProgram is a two-stage job with a substantial shuffle, used to
+// exercise the shuffle-manager paths.
+func shuffleProgram(mapCombine bool) *Program {
+	return &Program{
+		Name: "shuffle-test",
+		Stages: []Stage{
+			{Name: "map", InputFrac: 1, CPUSecPerMB: 0.02, ShuffleFrac: 1, MemExpansion: 1.5, MapSideCombine: mapCombine},
+			{Name: "reduce", ReadsShuffle: true, ShuffleInFrac: 1, CPUSecPerMB: 0.02, MemExpansion: 1.5},
+		},
+	}
+}
+
+func runWith(t *testing.T, p *Program, mb float64, mutate func(conf.Config)) *Result {
+	t.Helper()
+	cfg := conf.StandardSpace().Default().Set(conf.ExecutorMemory, 8192)
+	if mutate != nil {
+		mutate(cfg)
+	}
+	return New(cluster.Standard(), 3).Run(p, mb, cfg)
+}
+
+func TestShuffleCompressionReducesTime(t *testing.T) {
+	p := shuffleProgram(false)
+	on := runWith(t, p, 30*1024, nil) // compress default true
+	off := runWith(t, p, 30*1024, func(c conf.Config) { c.SetBool(conf.ShuffleCompress, false) })
+	if on.TotalSec >= off.TotalSec {
+		t.Fatalf("shuffle compression (%.1fs) should beat none (%.1fs) on a shuffle-heavy job",
+			on.TotalSec, off.TotalSec)
+	}
+}
+
+func TestTinyShuffleBuffersHurt(t *testing.T) {
+	p := shuffleProgram(false)
+	small := runWith(t, p, 30*1024, func(c conf.Config) { c.Set(conf.ShuffleFileBuffer, 2) })
+	big := runWith(t, p, 30*1024, func(c conf.Config) { c.Set(conf.ShuffleFileBuffer, 128) })
+	if big.TotalSec >= small.TotalSec {
+		t.Fatalf("128KB buffers (%.1fs) should beat 2KB (%.1fs)", big.TotalSec, small.TotalSec)
+	}
+}
+
+func TestTinyMaxSizeInFlightHurts(t *testing.T) {
+	p := shuffleProgram(false)
+	small := runWith(t, p, 30*1024, func(c conf.Config) { c.Set(conf.ReducerMaxSizeInFlight, 2) })
+	big := runWith(t, p, 30*1024, func(c conf.Config) { c.Set(conf.ReducerMaxSizeInFlight, 48) })
+	if big.TotalSec >= small.TotalSec {
+		t.Fatalf("48MB in-flight (%.1fs) should beat 2MB (%.1fs)", big.TotalSec, small.TotalSec)
+	}
+}
+
+func TestHashManagerConsolidationHelps(t *testing.T) {
+	p := shuffleProgram(false)
+	base := func(c conf.Config) {
+		c.Set(conf.ShuffleManager, conf.ShuffleHash)
+		c.Set(conf.DefaultParallelism, 50)
+	}
+	plain := runWith(t, p, 30*1024, base)
+	consolidated := runWith(t, p, 30*1024, func(c conf.Config) {
+		base(c)
+		c.SetBool(conf.ShuffleConsolidateFiles, true)
+	})
+	if consolidated.TotalSec >= plain.TotalSec {
+		t.Fatalf("consolidation (%.1fs) should beat per-task files (%.1fs) under hash shuffle",
+			consolidated.TotalSec, plain.TotalSec)
+	}
+}
+
+func TestBypassMergeAvoidsSortCost(t *testing.T) {
+	// Without map-side aggregation and with fewer reduce partitions than
+	// the threshold, the sort-shuffle bypass path skips the in-memory
+	// sort; a map-side-combine job over the same volume must pay it.
+	bypass := runWith(t, shuffleProgram(false), 30*1024, func(c conf.Config) {
+		c.Set(conf.ShuffleBypassMergeThresh, 1000) // 50 partitions < 1000: bypass
+		c.Set(conf.DefaultParallelism, 50)
+	})
+	sorting := runWith(t, shuffleProgram(true), 30*1024, func(c conf.Config) {
+		c.Set(conf.ShuffleBypassMergeThresh, 1000) // combine disqualifies the bypass
+		c.Set(conf.DefaultParallelism, 50)
+	})
+	if bypass.TotalSec >= sorting.TotalSec {
+		t.Fatalf("bypass path (%.1fs) should beat the sorting path (%.1fs) for the same volume",
+			bypass.TotalSec, sorting.TotalSec)
+	}
+}
+
+func TestOffHeapRelievesMemoryPressure(t *testing.T) {
+	p := shuffleProgram(true)
+	cfgBase := func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 1024) // tiny heap: pressure guaranteed
+		c.Set(conf.DefaultParallelism, 50)
+	}
+	without := runWith(t, p, 20*1024, cfgBase)
+	with := runWith(t, p, 20*1024, func(c conf.Config) {
+		cfgBase(c)
+		c.SetBool(conf.MemoryOffHeapEnabled, true)
+		c.Set(conf.MemoryOffHeapSize, 1000)
+	})
+	if with.SpillMB >= without.SpillMB {
+		t.Fatalf("off-heap memory should reduce spilling: %v MB vs %v MB", with.SpillMB, without.SpillMB)
+	}
+}
+
+func TestAkkaFailureDetectorInteractsWithBigHeaps(t *testing.T) {
+	// A large heap under high occupancy produces pauses; a twitchy
+	// failure detector then declares executors lost.
+	p := shuffleProgram(true)
+	mk := func(threshold float64) *Result {
+		return runWith(t, p, 60*1024, func(c conf.Config) {
+			c.Set(conf.ExecutorMemory, 12288)
+			c.Set(conf.ExecutorCores, 2)
+			c.Set(conf.DefaultParallelism, 8) // huge per-task working set
+			c.Set(conf.AkkaFailureDetector, threshold)
+		})
+	}
+	twitchy := mk(100)
+	patient := mk(500)
+	if twitchy.TotalSec <= patient.TotalSec {
+		t.Fatalf("threshold 100 (%.1fs) should be slower than 500 (%.1fs) under GC pauses",
+			twitchy.TotalSec, patient.TotalSec)
+	}
+}
+
+func TestMaxFailuresOneIsFragile(t *testing.T) {
+	p := shuffleProgram(true)
+	fragile := runWith(t, p, 100*1024, func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 1024)
+		c.Set(conf.DefaultParallelism, 8)
+		c.Set(conf.TaskMaxFailures, 1)
+	})
+	tolerant := runWith(t, p, 100*1024, func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 1024)
+		c.Set(conf.DefaultParallelism, 8)
+		c.Set(conf.TaskMaxFailures, 8)
+	})
+	if !fragile.Aborted {
+		t.Skip("config no longer aborts at maxFailures=1; calibration moved")
+	}
+	if tolerant.Aborted && fragile.TotalSec <= tolerant.TotalSec {
+		t.Fatal("more retry budget should not make things worse")
+	}
+}
+
+func TestAbortedJobsCostMoreThanCompletion(t *testing.T) {
+	// The tuner must never prefer a crash: an aborted run of the same
+	// configuration class costs more than a completing one.
+	p := shuffleProgram(true)
+	abort := runWith(t, p, 100*1024, func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 1024)
+		c.Set(conf.DefaultParallelism, 8)
+		c.Set(conf.TaskMaxFailures, 1)
+	})
+	complete := runWith(t, p, 100*1024, func(c conf.Config) {
+		c.Set(conf.ExecutorMemory, 1024)
+		c.Set(conf.DefaultParallelism, 8)
+		c.Set(conf.TaskMaxFailures, 8)
+	})
+	if !abort.Aborted || complete.Aborted {
+		t.Skip("calibration moved; abort/complete pair no longer reproducible here")
+	}
+	if abort.TotalSec <= complete.TotalSec {
+		t.Fatalf("aborted run (%.1fs) must cost more than completing (%.1fs)",
+			abort.TotalSec, complete.TotalSec)
+	}
+}
+
+func TestLocalExecutionOnlyForTinyJobs(t *testing.T) {
+	tiny := &Program{
+		Name:   "tiny",
+		Stages: []Stage{{Name: "probe", InputFrac: 1, CPUSecPerMB: 0.1, MemExpansion: 1, CollectMB: 0.1}},
+	}
+	on := New(cluster.Standard(), 3).Run(tiny, 10,
+		conf.StandardSpace().Default().SetBool(conf.LocalExecutionEnabled, true))
+	off := New(cluster.Standard(), 3).Run(tiny, 10, conf.StandardSpace().Default())
+	if on.TotalSec >= off.TotalSec {
+		t.Fatalf("local execution (%.2fs) should beat cluster scheduling (%.2fs) for a 10MB job",
+			on.TotalSec, off.TotalSec)
+	}
+	// And it must NOT trigger for a shuffle-fed stage regardless of
+	// InputFrac (the exploit the GA once found).
+	big := New(cluster.Standard(), 3).Run(shuffleProgram(false), 50*1024,
+		conf.StandardSpace().Default().SetBool(conf.LocalExecutionEnabled, true))
+	if big.Stages[1].Sec < 1 {
+		t.Fatalf("50GB shuffle stage ran in %.2fs: local-execution exploit is back", big.Stages[1].Sec)
+	}
+}
+
+func TestDriverMemoryBoundsCollect(t *testing.T) {
+	collectJob := &Program{
+		Name:   "collector",
+		Stages: []Stage{{Name: "gather", InputFrac: 1, CPUSecPerMB: 0.01, MemExpansion: 1, CollectFrac: 0.5}},
+	}
+	small := New(cluster.Standard(), 3).Run(collectJob, 4*1024,
+		conf.StandardSpace().Default()) // 2GB to a 1GB driver
+	big := New(cluster.Standard(), 3).Run(collectJob, 4*1024,
+		conf.StandardSpace().Default().Set(conf.DriverMemory, 12288))
+	if !small.Aborted && small.TotalSec <= big.TotalSec {
+		t.Fatalf("collecting 2GB into a 1GB driver (%.1fs, aborted=%v) should be worse than a 12GB driver (%.1fs)",
+			small.TotalSec, small.Aborted, big.TotalSec)
+	}
+}

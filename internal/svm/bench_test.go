@@ -1,0 +1,29 @@
+package svm
+
+import "testing"
+
+// BenchmarkTrain measures fitting the ε-SVR baseline, dominated by the
+// kernel-matrix precomputation (n²·d).
+func BenchmarkTrain(b *testing.B) {
+	ds := synthDS(1000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures one kernel-expansion query.
+func BenchmarkPredict(b *testing.B) {
+	ds := synthDS(800, 2)
+	m, err := Train(ds, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ds.Features[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -1,0 +1,60 @@
+package tree
+
+import "fmt"
+
+// FlatNode is the exported, serializable form of a tree node, used by the
+// model-persistence layer (internal/hm stores trained models with
+// encoding/gob so a model trained once can serve many searches — the
+// paper's periodic-job economics).
+type FlatNode struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Value     float64
+	Leaf      bool
+}
+
+// Flatten returns the tree's nodes in storage order.
+func (t *Tree) Flatten() []FlatNode {
+	out := make([]FlatNode, len(t.nodes))
+	for i, n := range t.nodes {
+		out[i] = FlatNode{
+			Feature:   int32(n.feature),
+			Threshold: n.threshold,
+			Left:      n.left,
+			Right:     n.right,
+			Value:     n.value,
+			Leaf:      n.leaf,
+		}
+	}
+	return out
+}
+
+// FromFlat rebuilds a tree from its flattened form. Split-gain metadata
+// (feature importance) is not persisted.
+func FromFlat(nodes []FlatNode) (*Tree, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("tree: empty node list")
+	}
+	t := &Tree{nodes: make([]node, len(nodes))}
+	for i, n := range nodes {
+		if !n.Leaf {
+			if n.Left < 0 || int(n.Left) >= len(nodes) || n.Right < 0 || int(n.Right) >= len(nodes) {
+				return nil, fmt.Errorf("tree: node %d has child out of range", i)
+			}
+			if n.Feature < 0 {
+				return nil, fmt.Errorf("tree: node %d has negative feature", i)
+			}
+		}
+		t.nodes[i] = node{
+			feature:   int(n.Feature),
+			threshold: n.Threshold,
+			left:      n.Left,
+			right:     n.Right,
+			value:     n.Value,
+			leaf:      n.Leaf,
+		}
+	}
+	return t, nil
+}

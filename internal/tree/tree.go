@@ -1,0 +1,297 @@
+// Package tree implements CART-style regression trees ([22] in the paper)
+// grown best-first to a node budget — the paper's tree complexity (tc)
+// parameter. Trees are the sub-models of both Hierarchical Modeling
+// (internal/hm) and the random-forest baseline (internal/rf).
+//
+// Split finding uses per-feature histogram binning so that growing the
+// thousands of small trees a boosted model needs stays cheap: a Builder
+// bins the design matrix once, and each Grow call only accumulates bin
+// statistics for its sample.
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options controls tree growth.
+type Options struct {
+	// MaxSplits is the number of internal (split) nodes — the paper's
+	// tree complexity tc. 1 yields a stump.
+	MaxSplits int
+	// MinLeaf is the minimum samples per leaf (default 5).
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (default 1; random forests use less).
+	FeatureFrac float64
+}
+
+func (o Options) minLeaf() int {
+	if o.MinLeaf <= 0 {
+		return 5
+	}
+	return o.MinLeaf
+}
+
+func (o Options) maxSplits() int {
+	if o.MaxSplits <= 0 {
+		return 1
+	}
+	return o.MaxSplits
+}
+
+// node is one tree node; leaves carry a prediction value.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int32
+	value       float64
+	leaf        bool
+}
+
+// Tree is a trained regression tree.
+type Tree struct {
+	nodes []node
+	// gains accumulates the SSE reduction attributed to each feature's
+	// committed splits — the raw material of feature importance.
+	gains []float64
+}
+
+// Gains returns the per-feature SSE reduction of this tree's splits (nil
+// for trees grown before any split committed). The slice is shared; do
+// not mutate it.
+func (t *Tree) Gains() []float64 { return t.gains }
+
+// Predict returns the leaf value reached by x.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.leaf {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumNodes returns the total node count (splits + leaves).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.nodes {
+		if t.nodes[i].leaf {
+			c++
+		}
+	}
+	return c
+}
+
+// maxBins is the histogram resolution for split finding.
+const maxBins = 64
+
+// Builder pre-bins a design matrix so many trees can be grown over
+// different targets and samples without re-sorting features.
+type Builder struct {
+	n, d        int
+	binned      [][]uint8   // [feature][row] -> bin index
+	edges       [][]float64 // [feature][bin] -> upper threshold of bin
+	x           [][]float64 // original rows (for thresholds only)
+	allFeatures []int       // 0..d-1, reused when no feature sampling
+}
+
+// NewBuilder bins X (n rows × d features).
+func NewBuilder(X [][]float64) *Builder {
+	n := len(X)
+	d := 0
+	if n > 0 {
+		d = len(X[0])
+	}
+	b := &Builder{n: n, d: d, x: X,
+		binned:      make([][]uint8, d),
+		edges:       make([][]float64, d),
+		allFeatures: make([]int, d),
+	}
+	for f := range b.allFeatures {
+		b.allFeatures[f] = f
+	}
+	vals := make([]float64, n)
+	for f := 0; f < d; f++ {
+		for i := 0; i < n; i++ {
+			vals[i] = X[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Quantile bin edges; duplicates collapse for discrete features.
+		edges := make([]float64, 0, maxBins-1)
+		for k := 1; k < maxBins; k++ {
+			v := sorted[k*(n-1)/maxBins]
+			if len(edges) == 0 || v > edges[len(edges)-1] {
+				edges = append(edges, v)
+			}
+		}
+		b.edges[f] = edges
+		col := make([]uint8, n)
+		for i := 0; i < n; i++ {
+			col[i] = uint8(sort.SearchFloat64s(edges, vals[i]))
+			// bin k means value <= edges[k] (edge k is the bin's
+			// inclusive upper threshold); the last bin is overflow.
+		}
+		b.binned[f] = col
+	}
+	return b
+}
+
+// N returns the number of rows the builder was constructed with.
+func (b *Builder) N() int { return b.n }
+
+// Grow fits a regression tree to targets y (len = builder rows) over the
+// sample idx (row indices, possibly with repeats for a bootstrap sample).
+// rng drives feature subsampling and may be nil when FeatureFrac >= 1.
+func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tree {
+	t := &Tree{}
+	if len(idx) == 0 {
+		t.nodes = []node{{leaf: true}}
+		return t
+	}
+	root := t.addLeaf(meanAt(y, idx))
+	type leafRec struct {
+		node int32
+		idx  []int
+		gain float64
+		// cached best split
+		feature int
+		bin     int
+	}
+	find := func(lr *leafRec) {
+		lr.gain, lr.feature, lr.bin = b.bestSplit(y, lr.idx, opt, rng)
+	}
+	first := &leafRec{node: root, idx: idx}
+	find(first)
+	leaves := []*leafRec{first}
+
+	for splits := 0; splits < opt.maxSplits(); splits++ {
+		// Best-first: expand the leaf with the largest gain.
+		best := -1
+		for i, lr := range leaves {
+			if lr.gain > 0 && (best < 0 || lr.gain > leaves[best].gain) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		lr := leaves[best]
+		f, bin := lr.feature, lr.bin
+		if t.gains == nil {
+			t.gains = make([]float64, b.d)
+		}
+		t.gains[f] += lr.gain
+		thresh := b.edges[f][bin]
+		var li, ri []int
+		for _, i := range lr.idx {
+			if b.binned[f][i] <= uint8(bin) {
+				li = append(li, i)
+			} else {
+				ri = append(ri, i)
+			}
+		}
+		ln := t.addLeaf(meanAt(y, li))
+		rn := t.addLeaf(meanAt(y, ri))
+		t.nodes[lr.node] = node{feature: f, threshold: thresh, left: ln, right: rn}
+
+		leftRec := &leafRec{node: ln, idx: li}
+		rightRec := &leafRec{node: rn, idx: ri}
+		find(leftRec)
+		find(rightRec)
+		leaves[best] = leftRec
+		leaves = append(leaves, rightRec)
+	}
+	return t
+}
+
+func (t *Tree) addLeaf(v float64) int32 {
+	t.nodes = append(t.nodes, node{leaf: true, value: v})
+	return int32(len(t.nodes) - 1)
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// bestSplit scans histogram statistics for the SSE-reducing split of idx.
+// It returns the gain (variance reduction × n, 0 if none), the feature and
+// the bin index whose edge is the threshold.
+func (b *Builder) bestSplit(y []float64, idx []int, opt Options, rng *rand.Rand) (gain float64, feature, bin int) {
+	nTot := len(idx)
+	if nTot < 2*opt.minLeaf() {
+		return 0, -1, -1
+	}
+	sumTot := 0.0
+	for _, i := range idx {
+		sumTot += y[i]
+	}
+	baseScore := sumTot * sumTot / float64(nTot)
+
+	var cnt [maxBins]int
+	var sum [maxBins]float64
+	feature, bin = -1, -1
+
+	// Feature subsampling draws a non-empty subset per split (random
+	// forests); mtry = max(1, frac·d).
+	feats := b.allFeatures
+	if opt.FeatureFrac > 0 && opt.FeatureFrac < 1 && rng != nil {
+		mtry := int(opt.FeatureFrac*float64(b.d) + 0.5)
+		if mtry < 1 {
+			mtry = 1
+		}
+		feats = rng.Perm(b.d)[:mtry]
+	}
+
+	for _, f := range feats {
+		if len(b.edges[f]) == 0 {
+			continue // constant feature
+		}
+		col := b.binned[f]
+		nb := len(b.edges[f]) + 1
+		for k := 0; k < nb; k++ {
+			cnt[k], sum[k] = 0, 0
+		}
+		for _, i := range idx {
+			k := col[i]
+			cnt[k]++
+			sum[k] += y[i]
+		}
+		nL, sL := 0, 0.0
+		for k := 0; k < nb-1; k++ { // split at edge k: bins <= k go left
+			nL += cnt[k]
+			sL += sum[k]
+			nR := nTot - nL
+			if nL < opt.minLeaf() || nR < opt.minLeaf() {
+				continue
+			}
+			sR := sumTot - sL
+			score := sL*sL/float64(nL) + sR*sR/float64(nR)
+			if g := score - baseScore; g > gain {
+				gain, feature, bin = g, f, k
+			}
+		}
+	}
+	if math.IsNaN(gain) || gain <= 1e-12 {
+		return 0, -1, -1
+	}
+	return gain, feature, bin
+}

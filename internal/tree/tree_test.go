@@ -1,0 +1,204 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth builds a dataset where y = step function of x0 plus linear x1.
+func synth(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64() * 10
+		X[i] = []float64{x0, x1}
+		y[i] = x1 * 0.5
+		if x0 > 5 {
+			y[i] += 20
+		}
+	}
+	return X, y
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func TestStumpFindsDominantSplit(t *testing.T) {
+	X, y := synth(500, 1)
+	b := NewBuilder(X)
+	tr := b.Grow(y, allIdx(500), Options{MaxSplits: 1}, nil)
+	if tr.NumLeaves() != 2 {
+		t.Fatalf("stump has %d leaves, want 2", tr.NumLeaves())
+	}
+	// The step at x0=5 dominates: predictions on the two sides must
+	// differ by roughly the 20-unit step.
+	lo := tr.Predict([]float64{2, 5})
+	hi := tr.Predict([]float64{8, 5})
+	if hi-lo < 10 {
+		t.Fatalf("stump split weak: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestDeeperTreesReduceTrainError(t *testing.T) {
+	X, y := synth(800, 2)
+	b := NewBuilder(X)
+	sse := func(tr *Tree) float64 {
+		s := 0.0
+		for i, row := range X {
+			d := tr.Predict(row) - y[i]
+			s += d * d
+		}
+		return s
+	}
+	shallow := b.Grow(y, allIdx(800), Options{MaxSplits: 1}, nil)
+	deep := b.Grow(y, allIdx(800), Options{MaxSplits: 20}, nil)
+	if sse(deep) >= sse(shallow) {
+		t.Fatalf("deep tree SSE %v >= stump SSE %v", sse(deep), sse(shallow))
+	}
+}
+
+func TestTreeComplexityBudgetRespected(t *testing.T) {
+	X, y := synth(500, 3)
+	b := NewBuilder(X)
+	for _, tc := range []int{1, 3, 5, 10} {
+		tr := b.Grow(y, allIdx(500), Options{MaxSplits: tc}, nil)
+		splits := tr.NumNodes() - tr.NumLeaves()
+		if splits > tc {
+			t.Errorf("tc=%d grew %d splits", tc, splits)
+		}
+	}
+}
+
+func TestConstantTargetYieldsLeaf(t *testing.T) {
+	X, _ := synth(100, 4)
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = 7
+	}
+	b := NewBuilder(X)
+	tr := b.Grow(y, allIdx(100), Options{MaxSplits: 5}, nil)
+	if tr.NumLeaves() != 1 {
+		t.Fatalf("constant target grew %d leaves", tr.NumLeaves())
+	}
+	if got := tr.Predict([]float64{1, 1}); got != 7 {
+		t.Fatalf("predict %v, want 7", got)
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	X, y := synth(10, 5)
+	b := NewBuilder(X)
+	tr := b.Grow(y, nil, Options{MaxSplits: 3}, nil)
+	if got := tr.Predict([]float64{0, 0}); got != 0 {
+		t.Fatalf("empty-sample tree predicts %v", got)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	X, y := synth(40, 6)
+	b := NewBuilder(X)
+	tr := b.Grow(y, allIdx(40), Options{MaxSplits: 30, MinLeaf: 15}, nil)
+	// With MinLeaf 15 over 40 samples at most 2 splits are feasible
+	// (each leaf must keep >= 15 samples).
+	if splits := tr.NumNodes() - tr.NumLeaves(); splits > 2 {
+		t.Fatalf("MinLeaf=15 allowed %d splits over 40 samples", splits)
+	}
+}
+
+func TestBootstrapSampleGrowing(t *testing.T) {
+	X, y := synth(300, 7)
+	b := NewBuilder(X)
+	rng := rand.New(rand.NewSource(8))
+	idx := make([]int, 300)
+	for i := range idx {
+		idx[i] = rng.Intn(300)
+	}
+	tr := b.Grow(y, idx, Options{MaxSplits: 5}, rng)
+	if tr.NumLeaves() < 2 {
+		t.Fatal("bootstrap-grown tree did not split")
+	}
+}
+
+func TestFeatureSubsampling(t *testing.T) {
+	X, y := synth(300, 9)
+	b := NewBuilder(X)
+	rng := rand.New(rand.NewSource(10))
+	// With FeatureFrac tiny, some trees should be forced to use x1.
+	usedX1 := false
+	for k := 0; k < 50 && !usedX1; k++ {
+		tr := b.Grow(y, allIdx(300), Options{MaxSplits: 1, FeatureFrac: 0.5}, rng)
+		lo := tr.Predict([]float64{2, 0})
+		hi := tr.Predict([]float64{2, 10})
+		if math.Abs(hi-lo) > 0.1 {
+			usedX1 = true
+		}
+	}
+	if !usedX1 {
+		t.Error("feature subsampling never selected the secondary feature")
+	}
+}
+
+// Property: predictions are bounded by the target range (means of subsets).
+func TestPredictionBoundsProperty(t *testing.T) {
+	X, y := synth(400, 11)
+	b := NewBuilder(X)
+	tr := b.Grow(y, allIdx(400), Options{MaxSplits: 10}, nil)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	rng := rand.New(rand.NewSource(12))
+	f := func(int64) bool {
+		x := []float64{rng.Float64() * 20, rng.Float64() * 20}
+		p := tr.Predict(x)
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: growing is deterministic for a fixed sample and no feature
+// sampling.
+func TestGrowDeterministic(t *testing.T) {
+	X, y := synth(200, 13)
+	b := NewBuilder(X)
+	t1 := b.Grow(y, allIdx(200), Options{MaxSplits: 5}, nil)
+	t2 := b.Grow(y, allIdx(200), Options{MaxSplits: 5}, nil)
+	rng := rand.New(rand.NewSource(14))
+	for k := 0; k < 100; k++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		if t1.Predict(x) != t2.Predict(x) {
+			t.Fatal("identical growth produced different trees")
+		}
+	}
+}
+
+func TestDiscreteFeatureBinning(t *testing.T) {
+	// A 0/1 feature must still be splittable.
+	rng := rand.New(rand.NewSource(15))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		b := float64(rng.Intn(2))
+		X[i] = []float64{b}
+		y[i] = b * 10
+	}
+	b := NewBuilder(X)
+	tr := b.Grow(y, allIdx(n), Options{MaxSplits: 1, MinLeaf: 2}, nil)
+	if math.Abs(tr.Predict([]float64{0})-0) > 1 || math.Abs(tr.Predict([]float64{1})-10) > 1 {
+		t.Fatalf("binary feature split failed: f(0)=%v f(1)=%v",
+			tr.Predict([]float64{0}), tr.Predict([]float64{1}))
+	}
+}

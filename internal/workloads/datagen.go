@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// The paper's collecting component uses each program's input dataset
+// generator (DG) to produce datasets of controlled sizes (§3.1). The
+// simulator itself consumes only dataset *sizes*, but the generators below
+// synthesize actual records deterministically so examples and tests can
+// demonstrate (and verify) the bytes-per-unit scales the workloads declare.
+
+// GenPoints writes n KMeans points with dim features each, one point per
+// line, and returns the number of bytes written. Records average the
+// ~0.22 KB the motivation study implies.
+func GenPoints(w io.Writer, n int, dim int, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriter(w)
+	var written int64
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			if d > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return written, err
+				}
+				written++
+			}
+			s := fmt.Sprintf("%.6f", rng.NormFloat64()*10)
+			k, err := bw.WriteString(s)
+			written += int64(k)
+			if err != nil {
+				return written, err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, bw.Flush()
+}
+
+// GenPages writes n synthetic web pages (id, outlinks, word payload) for
+// PageRank/Bayes-style inputs and returns the bytes written. meanWords
+// controls page size.
+func GenPages(w io.Writer, n int, meanWords int, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriter(w)
+	var written int64
+	emit := func(s string) error {
+		k, err := bw.WriteString(s)
+		written += int64(k)
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := emit(fmt.Sprintf("page%d\t", i)); err != nil {
+			return written, err
+		}
+		links := 1 + rng.Intn(10)
+		for l := 0; l < links; l++ {
+			if err := emit(fmt.Sprintf("page%d,", rng.Intn(n))); err != nil {
+				return written, err
+			}
+		}
+		words := meanWords/2 + rng.Intn(meanWords+1)
+		for k := 0; k < words; k++ {
+			if err := emit(fmt.Sprintf(" w%d", zipf(rng, 50000))); err != nil {
+				return written, err
+			}
+		}
+		if err := emit("\n"); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// GenEdges writes n graph edges ("src dst weight") for NWeight and returns
+// the bytes written. Degrees follow a heavy-tailed distribution so graph
+// partitions skew the way GraphX workloads do.
+func GenEdges(w io.Writer, n int, vertices int, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriter(w)
+	var written int64
+	for i := 0; i < n; i++ {
+		src := zipf(rng, vertices)
+		dst := rng.Intn(vertices)
+		k, err := fmt.Fprintf(bw, "%d %d %.3f\n", src, dst, rng.Float64())
+		written += int64(k)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// GenText writes approximately sizeBytes of whitespace-separated words with
+// a Zipfian vocabulary (WordCount's input) and returns the bytes written.
+func GenText(w io.Writer, sizeBytes int64, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriter(w)
+	var written int64
+	col := 0
+	for written < sizeBytes {
+		s := fmt.Sprintf("word%d", zipf(rng, 100000))
+		k, err := bw.WriteString(s)
+		written += int64(k)
+		if err != nil {
+			return written, err
+		}
+		col += k
+		sep := byte(' ')
+		if col > 80 {
+			sep, col = '\n', 0
+		}
+		if err := bw.WriteByte(sep); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, bw.Flush()
+}
+
+// GenTeraRecords writes n TeraSort records (10-byte key, 88-byte payload,
+// newline — the classic 100-byte year record rounded to 99 ASCII bytes)
+// and returns the bytes written.
+func GenTeraRecords(w io.Writer, n int, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriter(w)
+	var written int64
+	key := make([]byte, 10)
+	payload := make([]byte, 88)
+	for i := 0; i < n; i++ {
+		for j := range key {
+			key[j] = byte('A' + rng.Intn(26))
+		}
+		for j := range payload {
+			payload[j] = byte('a' + (i+j)%26)
+		}
+		for _, chunk := range [][]byte{key, payload, {'\n'}} {
+			k, err := bw.Write(chunk)
+			written += int64(k)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// zipf draws from a crude Zipf-like distribution over [0, n): rank r with
+// probability proportional to 1/(r+1).
+func zipf(rng *rand.Rand, n int) int {
+	u := rng.Float64()
+	// Inverse CDF of the continuous approximation: harmonic mass.
+	return int(float64(n) * (u * u * u))
+}

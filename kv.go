@@ -1,0 +1,42 @@
+package dac
+
+import "repro/internal/kvsim"
+
+// The paper observes (§2.1) that DAC's principles apply to any system with
+// a large configuration space, naming HBase. This file exposes the
+// repository's demonstration of that claim: an HBase-style LSM key-value
+// store substrate tuned through the exact same pipeline — only the Space
+// and the Executor change.
+
+// KV-store extension types.
+type (
+	// KVSimulator is the LSM/HBase-style region-server simulator.
+	KVSimulator = kvsim.Simulator
+	// KVWorkload is a YCSB-style request mix.
+	KVWorkload = kvsim.Workload
+)
+
+// KVSpace returns the key-value store's 16-parameter configuration space.
+func KVSpace() *Space { return kvsim.Space() }
+
+// NewKVSimulator returns a region-server simulator with typical hardware.
+func NewKVSimulator(seed int64) *KVSimulator { return kvsim.New(seed) }
+
+// KVReadHeavy, KVWriteHeavy and KVScanHeavy return the packaged workload
+// mixes (YCSB B, YCSB A, and a large-value scan mix).
+func KVReadHeavy() KVWorkload  { return kvsim.ReadHeavy() }
+func KVWriteHeavy() KVWorkload { return kvsim.WriteHeavy() }
+func KVScanHeavy() KVWorkload  { return kvsim.ScanHeavy() }
+
+// NewKVTuner wires the DAC pipeline to the key-value store: the identical
+// collect → model → search loop over a different substrate and space.
+func NewKVTuner(w KVWorkload, opt Options) *Tuner {
+	sim := kvsim.New(opt.Seed + 7)
+	return &Tuner{
+		Space: kvsim.Space(),
+		Exec: ExecutorFunc(func(cfg Config, dsizeMB float64) float64 {
+			return sim.Run(w, dsizeMB, cfg)
+		}),
+		Opt: opt,
+	}
+}

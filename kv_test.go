@@ -1,0 +1,47 @@
+package dac_test
+
+import (
+	"testing"
+
+	dac "repro"
+)
+
+func TestKVSpaceShape(t *testing.T) {
+	s := dac.KVSpace()
+	if s.Len() != 16 {
+		t.Fatalf("KV space has %d params, want 16", s.Len())
+	}
+}
+
+func TestKVSimulatorThroughFacade(t *testing.T) {
+	sim := dac.NewKVSimulator(1)
+	cfg := dac.KVSpace().Default()
+	for _, w := range []dac.KVWorkload{dac.KVReadHeavy(), dac.KVWriteHeavy(), dac.KVScanHeavy()} {
+		if v := sim.Run(w, 50*1024, cfg); v <= 0 {
+			t.Errorf("%s: time %v", w.Name, v)
+		}
+	}
+}
+
+// TestKVTunerEndToEnd exercises the paper's generality claim: the same
+// pipeline tunes the key-value store and beats its defaults.
+func TestKVTunerEndToEnd(t *testing.T) {
+	w := dac.KVReadHeavy()
+	tuner := dac.NewKVTuner(w, dac.Options{
+		NTrain: 400,
+		HM:     dac.HMOptions{Trees: 200, LearningRate: 0.1, TreeComplexity: 5},
+		GA:     dac.GAOptions{PopSize: 30, Generations: 20},
+		Seed:   1,
+	})
+	target := 20.0 * 1024
+	res, err := tuner.Tune(10*1024, 100*1024, []float64{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := dac.NewKVSimulator(55)
+	tTuned := sim.Run(w, target, res.Best[target])
+	tDef := sim.Run(w, target, dac.KVSpace().Default())
+	if tTuned >= tDef {
+		t.Fatalf("tuned KV config (%.0fs) not faster than default (%.0fs)", tTuned, tDef)
+	}
+}
