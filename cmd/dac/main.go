@@ -41,6 +41,7 @@ import (
 	"repro/internal/expert"
 	"repro/internal/ga"
 	"repro/internal/hm"
+	"repro/internal/obs"
 	"repro/internal/sparksim"
 	"repro/internal/workloads"
 )
@@ -84,7 +85,57 @@ func usage() {
   dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1]
   dac show    -workload TS
   dac compare -workload TS [-ntrain 2000]
-  dac importance -in ts.csv [-top 10]`)
+  dac importance -in ts.csv [-top 10]
+pipeline subcommands also accept -report (print metrics report) and
+-metrics <path> (write metrics JSON)`)
+}
+
+// obsFlags registers the observability flags shared by the pipeline
+// subcommands: -report prints the metrics report to stderr after the
+// command finishes, and -metrics writes the same data as JSON (the schema
+// is documented in DESIGN.md).
+type obsFlags struct {
+	report  *bool
+	metrics *string
+}
+
+func addObsFlags(fs *flag.FlagSet) obsFlags {
+	return obsFlags{
+		report:  fs.Bool("report", false, "print the metrics report (per-phase wall-clock, simulator/model/GA counters)"),
+		metrics: fs.String("metrics", "", "write metrics as JSON to this path (e.g. metrics.json)"),
+	}
+}
+
+// registry returns the registry the command should instrument with, or
+// nil when neither flag asked for metrics — keeping the zero-cost path.
+func (o obsFlags) registry() *obs.Registry {
+	if !*o.report && *o.metrics == "" {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// emit renders the registry according to the flags. A nil registry (flags
+// unset) emits nothing.
+func (o obsFlags) emit(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	if *o.report {
+		fmt.Fprint(os.Stderr, "\n"+reg.Report())
+	}
+	if *o.metrics != "" {
+		f, err := os.Create(*o.metrics)
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *o.metrics)
+	}
+	return nil
 }
 
 func lookupWorkload(abbr string) (*workloads.Workload, error) {
@@ -99,8 +150,9 @@ func lookupWorkload(abbr string) (*workloads.Workload, error) {
 	return w, nil
 }
 
-func newTuner(w *workloads.Workload, ntrain int, seed int64) *core.Tuner {
+func newTuner(w *workloads.Workload, ntrain int, seed int64, reg *obs.Registry) *core.Tuner {
 	sim := sparksim.New(cluster.Standard(), seed+7)
+	sim.Instrument(reg)
 	return &core.Tuner{
 		Space: conf.StandardSpace(),
 		Exec: core.ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
@@ -112,6 +164,7 @@ func newTuner(w *workloads.Workload, ntrain int, seed int64) *core.Tuner {
 			GA:     ga.Options{PopSize: 100, Generations: 100},
 			Seed:   seed,
 		},
+		Obs: reg,
 	}
 }
 
@@ -121,13 +174,15 @@ func cmdCollect(args []string) error {
 	n := fs.Int("n", 2000, "number of performance vectors")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*abbr)
 	if err != nil {
 		return err
 	}
-	t := newTuner(w, *n, *seed)
+	reg := of.registry()
+	t := newTuner(w, *n, *seed, reg)
 	sizes := t.TrainingSizesMB(w.InputMB(w.Sizes[0])*0.8, w.InputMB(w.Sizes[len(w.Sizes)-1])*1.1)
 	set, ov, err := t.Collect(sizes)
 	if err != nil {
@@ -147,7 +202,7 @@ func cmdCollect(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "collected %d vectors for %s (%.1f simulated cluster hours)\n",
 		set.Len(), w.Name, ov.CollectClusterHours)
-	return nil
+	return of.emit(reg)
 }
 
 func cmdTune(args []string) error {
@@ -156,6 +211,7 @@ func cmdTune(args []string) error {
 	size := fs.Float64("size", 0, "target datasize in the workload's units (default: middle Table 1 size)")
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*abbr)
@@ -167,7 +223,8 @@ func cmdTune(args []string) error {
 		units = w.Sizes[len(w.Sizes)/2]
 	}
 	targetMB := w.InputMB(units)
-	t := newTuner(w, *ntrain, *seed)
+	reg := of.registry()
+	t := newTuner(w, *ntrain, *seed, reg)
 	lo := w.InputMB(w.Sizes[0]) * 0.8
 	hi := w.InputMB(w.Sizes[len(w.Sizes)-1]) * 1.1
 	fmt.Printf("tuning %s for %g %s (%.0f MB)...\n", w.Name, units, w.Unit, targetMB)
@@ -190,7 +247,7 @@ func cmdTune(args []string) error {
 	fmt.Printf("expert:    %.1fs   (speedup %.1fx)\n", tExp, tExp/tDAC)
 	fmt.Printf("\noverhead: collecting %.1f simulated cluster hours, modeling %.1fs, searching %.1fs\n",
 		res.Overhead.CollectClusterHours, res.Overhead.ModelTrainSec, res.Overhead.SearchSec)
-	return nil
+	return of.emit(reg)
 }
 
 // cmdTrain fits an HM model on a previously collected CSV and saves it —
@@ -200,6 +257,7 @@ func cmdTrain(args []string) error {
 	in := fs.String("in", "", "training CSV from `dac collect` (required)")
 	out := fs.String("out", "dac.model", "model output path")
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("train: -in is required")
@@ -213,7 +271,8 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := hm.Train(set.ToDataset(), hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed})
+	reg := of.registry()
+	m, err := hm.Train(set.ToDataset(), hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -227,7 +286,7 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "trained on %d vectors (order %d, validation error %.1f%%); saved to %s\n",
 		set.Len(), m.Order, m.ValErr*100, *out)
-	return nil
+	return of.emit(reg)
 }
 
 // cmdImportance trains an HM model on a collected CSV and ranks the
@@ -238,6 +297,7 @@ func cmdImportance(args []string) error {
 	in := fs.String("in", "", "training CSV from `dac collect` (required)")
 	top := fs.Int("top", 10, "features to show")
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("importance: -in is required")
@@ -252,7 +312,8 @@ func cmdImportance(args []string) error {
 		return err
 	}
 	ds := set.ToDataset()
-	m, err := hm.Train(ds, hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed})
+	reg := of.registry()
+	m, err := hm.Train(ds, hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -272,7 +333,7 @@ func cmdImportance(args []string) error {
 	for i, r := range rows {
 		fmt.Printf("%2d. %-45s %5.1f%%\n", i+1, r.name, r.share*100)
 	}
-	return nil
+	return of.emit(reg)
 }
 
 // cmdSearch loads a saved model and runs the GA for one target size —
@@ -285,6 +346,7 @@ func cmdSearch(args []string) error {
 	size := fs.Float64("size", 0, "target datasize in workload units")
 	out := fs.String("out", "", "write the configuration as a properties file")
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *modelPath == "" {
 		return fmt.Errorf("search: -model is required")
@@ -306,7 +368,8 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	t := newTuner(w, 1, *seed) // executor unused by Search
+	reg := of.registry()
+	t := newTuner(w, 1, *seed, reg) // executor unused by Search
 	cfg, pred, gaRes, _, err := t.Search(m, w.InputMB(units), nil)
 	if err != nil {
 		return err
@@ -323,10 +386,10 @@ func cmdSearch(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
-		return nil
+		return of.emit(reg)
 	}
 	fmt.Println(cfg)
-	return nil
+	return of.emit(reg)
 }
 
 // cmdCompare tunes with both DAC and RFHOC and prints the four-way
@@ -337,13 +400,15 @@ func cmdCompare(args []string) error {
 	abbr := fs.String("workload", "TS", "workload abbreviation")
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*abbr)
 	if err != nil {
 		return err
 	}
-	t := newTuner(w, *ntrain, *seed)
+	reg := of.registry()
+	t := newTuner(w, *ntrain, *seed, reg)
 	targets := w.SizesMB()
 	lo, hi := targets[0]*0.8, targets[len(targets)-1]*1.1
 
@@ -352,7 +417,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	rfhoc := &core.RFHOCTuner{Space: t.Space, Exec: t.Exec, Opt: t.Opt}
+	rfhoc := &core.RFHOCTuner{Space: t.Space, Exec: t.Exec, Opt: t.Opt, Obs: reg}
 	rfhocCfg, err := rfhoc.Tune(lo, hi)
 	if err != nil {
 		return err
@@ -370,7 +435,7 @@ func cmdCompare(args []string) error {
 			evalSim.Run(&w.Program, mb, rfhocCfg).TotalSec,
 			evalSim.Run(&w.Program, mb, res.Best[mb]).TotalSec)
 	}
-	return nil
+	return of.emit(reg)
 }
 
 func cmdShow(args []string) error {

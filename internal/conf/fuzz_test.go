@@ -1,0 +1,144 @@
+package conf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomInRangeProperty checks Space.Random over many seeds: every
+// generated value must be a legal encoding for its parameter — inside
+// [Min, Max], integral for the discrete kinds, and a valid choice index
+// for enums. The models and the GA both assume this invariant.
+func TestRandomInRangeProperty(t *testing.T) {
+	space := StandardSpace()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := space.Random(rng)
+		for i := 0; i < space.Len(); i++ {
+			p := space.Param(i)
+			v := cfg.At(i)
+			if v < p.Min || v > p.Max {
+				t.Fatalf("seed %d: %s = %v outside [%v, %v]", seed, p.Name, v, p.Min, p.Max)
+			}
+			if p.Kind != Float && v != math.Round(v) {
+				t.Fatalf("seed %d: %s kind %v has non-integral encoding %v", seed, p.Name, p.Kind, v)
+			}
+			if p.Kind == Enum && (int(v) < 0 || int(v) >= len(p.Choices)) {
+				t.Fatalf("seed %d: %s enum index %v out of range", seed, p.Name, v)
+			}
+		}
+	}
+}
+
+// TestFormatParseRoundTrip checks, for every parameter kind, that a legal
+// encoded value survives FormatValue → ParseValue → FormatValue exactly.
+// Float parameters rely on %g printing the shortest uniquely-parsing
+// representation, so even the re-parsed encoding is bit-identical.
+func TestFormatParseRoundTrip(t *testing.T) {
+	space := StandardSpace()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < space.Len(); i++ {
+		p := space.Param(i)
+		for trial := 0; trial < 50; trial++ {
+			v := p.Clamp(p.Random(rng))
+			text := p.FormatValue(v)
+			back, err := p.ParseValue(text)
+			if err != nil {
+				t.Fatalf("%s: ParseValue(FormatValue(%v)) = %q failed: %v", p.Name, v, text, err)
+			}
+			if back != v {
+				t.Fatalf("%s: %v formatted as %q parsed back as %v", p.Name, v, text, back)
+			}
+			if again := p.FormatValue(back); again != text {
+				t.Fatalf("%s: re-encode changed text %q -> %q", p.Name, text, again)
+			}
+		}
+	}
+}
+
+// TestClampProperties checks the Clamp contract on adversarial inputs:
+// idempotent, always in range, discrete kinds integral, NaN mapped to the
+// default.
+func TestClampProperties(t *testing.T) {
+	space := StandardSpace()
+	rng := rand.New(rand.NewSource(23))
+	adversarial := []float64{
+		math.Inf(1), math.Inf(-1), math.NaN(), 0, -0.0, 1e308, -1e308, 0.5, -0.5,
+	}
+	for i := 0; i < space.Len(); i++ {
+		p := space.Param(i)
+		inputs := append([]float64{}, adversarial...)
+		for k := 0; k < 40; k++ {
+			inputs = append(inputs, (rng.Float64()-0.5)*4*(p.Span()+1)+p.Min)
+		}
+		for _, v := range inputs {
+			c := p.Clamp(v)
+			if math.IsNaN(v) {
+				if c != p.Default {
+					t.Fatalf("%s: Clamp(NaN) = %v, want default %v", p.Name, c, p.Default)
+				}
+				continue
+			}
+			if c < p.Min || c > p.Max {
+				t.Fatalf("%s: Clamp(%v) = %v outside [%v, %v]", p.Name, v, c, p.Min, p.Max)
+			}
+			if p.Kind != Float && c != math.Round(c) {
+				t.Fatalf("%s: Clamp(%v) = %v not integral for kind %v", p.Name, v, c, p.Kind)
+			}
+			if cc := p.Clamp(c); cc != c {
+				t.Fatalf("%s: Clamp not idempotent: %v -> %v -> %v", p.Name, v, c, cc)
+			}
+		}
+	}
+}
+
+// FuzzParamClamp fuzzes Clamp across the whole space: any float64,
+// including the bit patterns the fuzzer invents, must clamp to a legal,
+// stable encoding.
+func FuzzParamClamp(f *testing.F) {
+	f.Add(0, 0.0)
+	f.Add(3, math.Inf(1))
+	f.Add(40, -1.5)
+	space := StandardSpace()
+	f.Fuzz(func(t *testing.T, idx int, v float64) {
+		p := space.Param(((idx % space.Len()) + space.Len()) % space.Len())
+		c := p.Clamp(v)
+		if math.IsNaN(c) || c < p.Min || c > p.Max {
+			t.Fatalf("%s: Clamp(%v) = %v is not a legal encoding", p.Name, v, c)
+		}
+		if p.Clamp(c) != c {
+			t.Fatalf("%s: Clamp(%v) = %v not idempotent", p.Name, v, c)
+		}
+	})
+}
+
+// FuzzParseValue fuzzes the properties-file value parser: arbitrary text
+// must either fail cleanly or produce a legal encoding whose rendering
+// parses back to itself.
+func FuzzParseValue(f *testing.F) {
+	f.Add(0, "12288")
+	f.Add(1, "true")
+	f.Add(2, "kryo")
+	f.Add(3, "not-a-number")
+	f.Add(4, "1e999")
+	space := StandardSpace()
+	f.Fuzz(func(t *testing.T, idx int, s string) {
+		p := space.Param(((idx % space.Len()) + space.Len()) % space.Len())
+		v, err := p.ParseValue(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) || v < p.Min || v > p.Max {
+			t.Fatalf("%s: ParseValue(%q) = %v outside [%v, %v]", p.Name, s, v, p.Min, p.Max)
+		}
+		text := p.FormatValue(v)
+		back, err := p.ParseValue(text)
+		if err != nil {
+			t.Fatalf("%s: rendering %q of parsed value failed to re-parse: %v", p.Name, text, err)
+		}
+		if back != p.Clamp(v) {
+			t.Fatalf("%s: %q parsed as %v, re-parsed as %v", p.Name, s, v, back)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/hm"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rf"
 )
 
@@ -101,6 +102,35 @@ type Tuner struct {
 	Exec Executor
 	// Opt holds the pipeline settings.
 	Opt Options
+	// Obs, when non-nil, receives the pipeline's metrics: per-phase
+	// wall-clock spans (tune → collect/model/search), collection job
+	// counts and cluster time, model fit and predict timing, and the
+	// GA's counters (the registry is propagated into hm and ga unless
+	// their own Options carry one). Nil keeps every instrumented path on
+	// its zero-cost branch.
+	Obs *obs.Registry
+}
+
+// obsHM returns the HM options with the tuner's registry attached.
+func (t *Tuner) obsHM(o hm.Options) hm.Options {
+	if o.Obs == nil {
+		o.Obs = t.Obs
+	}
+	return o
+}
+
+// obsGA returns the GA options with the tuner's registry attached.
+func (t *Tuner) obsGA(o ga.Options) ga.Options {
+	if o.Obs == nil {
+		o.Obs = t.Obs
+	}
+	return o
+}
+
+// predictBounds buckets single model predictions, which cost
+// microseconds against DefaultTimeBounds' millisecond floor.
+var predictBounds = []float64{
+	1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 0.01, 0.1,
 }
 
 // Overhead records the pipeline's cost, the quantities of Table 3.
@@ -137,6 +167,12 @@ func (t *Tuner) TrainingSizesMB(minMB, maxMB float64) []float64 {
 // (Seed, Exec) because each row's configuration and size are fixed up
 // front.
 func (t *Tuner) Collect(sizesMB []float64) (*dataset.Set, Overhead, error) {
+	sp := t.Obs.StartSpan("collect")
+	defer sp.End()
+	return t.collect(sizesMB)
+}
+
+func (t *Tuner) collect(sizesMB []float64) (*dataset.Set, Overhead, error) {
 	opt := t.Opt.withDefaults()
 	if len(sizesMB) == 0 {
 		return nil, Overhead{}, fmt.Errorf("core: no dataset sizes")
@@ -179,13 +215,21 @@ func (t *Tuner) Collect(sizesMB []float64) (*dataset.Set, Overhead, error) {
 		set.Add(j.cfg, j.size, times[i])
 		clusterSec += times[i]
 	}
+	t.Obs.Counter("core.collect.jobs").Add(int64(len(jobs)))
+	t.Obs.Float("core.collect.cluster.sec").Add(clusterSec)
 	return set, Overhead{CollectClusterHours: clusterSec / 3600}, nil
 }
 
 // Model trains the HM performance model over the collected set.
 func (t *Tuner) Model(set *dataset.Set) (model.Model, Overhead, error) {
+	sp := t.Obs.StartSpan("model")
+	defer sp.End()
+	return t.model(set)
+}
+
+func (t *Tuner) model(set *dataset.Set) (model.Model, Overhead, error) {
 	opt := t.Opt.withDefaults()
-	hmOpt := opt.HM
+	hmOpt := t.obsHM(opt.HM)
 	if hmOpt.Seed == 0 {
 		hmOpt.Seed = opt.Seed + 1
 	}
@@ -212,8 +256,14 @@ func (t *Tuner) Model(set *dataset.Set) (model.Model, Overhead, error) {
 // result (for convergence analysis, Fig. 11). seedConfs optionally seeds
 // the population, as the paper does with vectors from the training set.
 func (t *Tuner) Search(m model.Model, dsizeMB float64, seedConfs [][]float64) (conf.Config, float64, ga.Result, Overhead, error) {
+	sp := t.Obs.StartSpan("search")
+	defer sp.End()
+	return t.search(m, dsizeMB, seedConfs)
+}
+
+func (t *Tuner) search(m model.Model, dsizeMB float64, seedConfs [][]float64) (conf.Config, float64, ga.Result, Overhead, error) {
 	opt := t.Opt.withDefaults()
-	gaOpt := opt.GA
+	gaOpt := t.obsGA(opt.GA)
 	if gaOpt.Seed == 0 {
 		gaOpt.Seed = opt.Seed + 2
 	}
@@ -235,6 +285,19 @@ func (t *Tuner) Search(m model.Model, dsizeMB float64, seedConfs [][]float64) (c
 				pred, std := um.PredictWithUncertainty(x)
 				return pred + kappa*std
 			}
+		}
+	}
+	if t.Obs != nil {
+		// Attribute model-predict latency separately from the GA's own
+		// bookkeeping; the histogram add costs ~100ns against a predict
+		// that walks thousands of trees.
+		h := t.Obs.Histogram("model.predict.sec", predictBounds)
+		inner := obj
+		obj = func(cfgVec []float64) float64 {
+			t0 := time.Now()
+			v := inner(cfgVec)
+			h.Observe(time.Since(t0).Seconds())
+			return v
 		}
 	}
 	start := time.Now()
@@ -267,12 +330,19 @@ type TuneResult struct {
 // Tune runs the full DAC pipeline: collect over [minMB, maxMB], train HM,
 // then search a configuration for every target size.
 func (t *Tuner) Tune(minMB, maxMB float64, targetsMB []float64) (*TuneResult, error) {
+	root := t.Obs.StartSpan("tune")
+	defer root.End()
+
 	sizes := t.TrainingSizesMB(minMB, maxMB)
-	set, ovC, err := t.Collect(sizes)
+	cs := root.Child("collect")
+	set, ovC, err := t.collect(sizes)
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
-	m, ovM, err := t.Model(set)
+	ms := root.Child("model")
+	m, ovM, err := t.model(set)
+	ms.End()
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +357,9 @@ func (t *Tuner) Tune(minMB, maxMB float64, targetsMB []float64) (*TuneResult, er
 	seedRng := rand.New(rand.NewSource(t.Opt.withDefaults().Seed + 5))
 	seeds := seedConfsFrom(set, t.Opt.withDefaults().GA.PopSize, seedRng)
 	for _, target := range targetsMB {
-		cfg, pred, gaRes, ovS, err := t.Search(m, target, seeds)
+		ss := root.Child("search")
+		cfg, pred, gaRes, ovS, err := t.search(m, target, seeds)
+		ss.End()
 		if err != nil {
 			return nil, err
 		}
@@ -327,14 +399,20 @@ type RFHOCTuner struct {
 	Exec  Executor
 	Opt   Options
 	RF    rf.Options
+	// Obs receives the baseline pipeline's metrics like Tuner.Obs does.
+	Obs *obs.Registry
 }
 
 // Tune collects like DAC (same budget for fairness), trains a
 // datasize-blind random forest, and searches one configuration.
 func (t *RFHOCTuner) Tune(minMB, maxMB float64) (conf.Config, error) {
-	inner := &Tuner{Space: t.Space, Exec: t.Exec, Opt: t.Opt}
+	root := t.Obs.StartSpan("rfhoc.tune")
+	defer root.End()
+	inner := &Tuner{Space: t.Space, Exec: t.Exec, Opt: t.Opt, Obs: t.Obs}
 	sizes := inner.TrainingSizesMB(minMB, maxMB)
-	set, _, err := inner.Collect(sizes)
+	cs := root.Child("collect")
+	set, _, err := inner.collect(sizes)
+	cs.End()
 	if err != nil {
 		return conf.Config{}, err
 	}
@@ -347,16 +425,20 @@ func (t *RFHOCTuner) Tune(minMB, maxMB float64) (conf.Config, error) {
 	if rfOpt.Seed == 0 {
 		rfOpt.Seed = t.Opt.Seed + 3
 	}
+	ms := root.Child("model")
 	forest, err := rf.Train(ds, rfOpt)
+	ms.End()
 	if err != nil {
 		return conf.Config{}, fmt.Errorf("core: rfhoc training: %w", err)
 	}
-	gaOpt := t.Opt.GA
+	gaOpt := inner.obsGA(t.Opt.GA)
 	if gaOpt.Seed == 0 {
 		gaOpt.Seed = t.Opt.Seed + 4
 	}
 	seedRng := rand.New(rand.NewSource(t.Opt.Seed + 6))
+	ss := root.Child("search")
 	res := ga.Minimize(t.Space, func(x []float64) float64 { return forest.Predict(x) },
 		seedConfsFrom(set, gaOpt.PopSize, seedRng), gaOpt)
+	ss.End()
 	return t.Space.FromVector(res.Best)
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/ga"
+	"repro/internal/hm"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// tuneOnce runs a small end-to-end Tune at the given parallelism and
+// returns the best configuration vector and prediction for the target.
+func tuneOnce(t *testing.T, parallelism int) ([]float64, float64) {
+	t.Helper()
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sparksim.New(cluster.Standard(), 8)
+	tuner := &Tuner{
+		Space: conf.StandardSpace(),
+		Exec: ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
+			return sim.Run(&w.Program, dsizeMB, cfg).TotalSec
+		}),
+		Opt: Options{
+			NTrain:      120,
+			HM:          hm.Options{Trees: 60, LearningRate: 0.1, TreeComplexity: 5},
+			GA:          ga.Options{PopSize: 20, Generations: 8},
+			Seed:        1,
+			Parallelism: parallelism,
+		},
+	}
+	target := w.InputMB(30)
+	res, err := tuner.Tune(w.InputMB(10), w.InputMB(50), []float64{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best[target].Vector(), res.PredictedSec[target]
+}
+
+// TestTuneDeterministicAcrossParallelism pins the pipeline's determinism
+// contract: the same seeds must give the same tuned configuration whether
+// the collecting component runs on one goroutine or many. A violation
+// means some stage's result depends on scheduling order — exactly the bug
+// class the race suite exists to keep out.
+func TestTuneDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tune skipped in -short mode")
+	}
+	wide := runtime.GOMAXPROCS(0) * 2
+	if wide < 8 {
+		wide = 8
+	}
+	vec1, pred1 := tuneOnce(t, 1)
+	vecN, predN := tuneOnce(t, wide)
+	if pred1 != predN {
+		t.Errorf("predicted time differs across parallelism: %v vs %v", pred1, predN)
+	}
+	if len(vec1) != len(vecN) {
+		t.Fatalf("config vector lengths differ: %d vs %d", len(vec1), len(vecN))
+	}
+	for i := range vec1 {
+		if vec1[i] != vecN[i] {
+			t.Errorf("best config dimension %d differs: %v (serial) vs %v (parallel %d)",
+				i, vec1[i], vecN[i], wide)
+		}
+	}
+}

@@ -19,7 +19,11 @@ import (
 // the evaluation sizes). Runs execute concurrently but the collected set
 // is deterministic in (simSeed, seed).
 func collect(sc Scale, w *workloads.Workload, n int, simSeed, seed int64) *dataset.Set {
+	sp := sc.Obs.StartSpan("experiments.collect")
+	defer sp.End()
 	sim := sparksim.New(sc.Cluster, simSeed)
+	sim.Instrument(sc.Obs)
+	sc.Obs.Counter("experiments.collect.jobs").Add(int64(n))
 	space := conf.StandardSpace()
 	rng := rand.New(rand.NewSource(seed))
 

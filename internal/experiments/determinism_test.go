@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// collectCSV runs the collecting component for TeraSort and renders the
+// set as CSV bytes.
+func collectCSV(t *testing.T, sc Scale) []byte {
+	t.Helper()
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collect(sc, w, 200, 42, 1)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCollectCSVDeterministicAcrossGOMAXPROCS checks that the collected
+// training set is byte-identical whether the simulator runs serially or
+// across all cores: the CSV a user writes with `dac collect` must not
+// depend on their machine's core count or the scheduler's interleaving.
+func TestCollectCSVDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := tinyScale()
+	sc.Obs = obs.NewRegistry() // exercise instrumentation under both modes
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := collectCSV(t, sc)
+	runtime.GOMAXPROCS(prev)
+	parallel := collectCSV(t, sc)
+
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("collected CSV differs between GOMAXPROCS=1 and the default")
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty CSV")
+	}
+	if n := sc.Obs.Snapshot().Counters["experiments.collect.jobs"]; n != 400 {
+		t.Errorf("experiments.collect.jobs = %d, want 400 across both collects", n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ga"
 	"repro/internal/hm"
+	"repro/internal/obs"
 )
 
 // Scale sets the experiment fidelity. FullScale reproduces the paper's
@@ -29,6 +30,10 @@ type Scale struct {
 	Seed int64
 	// Cluster is the modelled hardware.
 	Cluster cluster.Cluster
+	// Obs, when non-nil, collects per-phase wall-clock and the layer
+	// counters (simulator runs, trees grown, GA evaluations) for every
+	// experiment run at this scale. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // FullScale returns the paper's experimental settings (§4, §5.1, §5.2).

@@ -51,11 +51,12 @@ func TuneAll(sc Scale) []TuneOutcome {
 			Seed:   seed,
 		}
 		trainSim := sparksim.New(sc.Cluster, 42)
+		trainSim.Instrument(sc.Obs)
 		exec := core.ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
 			return trainSim.Run(&w.Program, dsizeMB, cfg).TotalSec
 		})
 
-		tuner := &core.Tuner{Space: space, Exec: exec, Opt: opt}
+		tuner := &core.Tuner{Space: space, Exec: exec, Opt: opt, Obs: sc.Obs}
 		targets := w.SizesMB()
 		lo := targets[0] * 0.8
 		hi := targets[len(targets)-1] * 1.1
@@ -64,7 +65,7 @@ func TuneAll(sc Scale) []TuneOutcome {
 			panic(fmt.Sprintf("experiments: DAC tuning %s: %v", w.Name, err))
 		}
 
-		rfhoc := &core.RFHOCTuner{Space: space, Exec: exec, Opt: opt}
+		rfhoc := &core.RFHOCTuner{Space: space, Exec: exec, Opt: opt, Obs: sc.Obs}
 		rfhocCfg, err := rfhoc.Tune(lo, hi)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: RFHOC tuning %s: %v", w.Name, err))

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"repro/internal/conf"
+	"repro/internal/obs"
 )
 
 // Objective maps an encoded configuration vector to the quantity being
@@ -42,6 +43,11 @@ type Options struct {
 	Patience int
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when non-nil, receives search metrics: runs, generations,
+	// objective evaluations ("ga.*"), plus each run's best-so-far
+	// trajectory as a run of the "ga.best" series. Recording never
+	// perturbs the search.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +106,10 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 		}
 	}
 
+	opt.Obs.Counter("ga.runs").Inc()
+	evals := opt.Obs.Counter("ga.evaluations")
+	gens := opt.Obs.Counter("ga.generations")
+
 	res := Result{BestFitness: math.Inf(1)}
 	fit := make([]float64, opt.PopSize)
 	evaluate := func() {
@@ -111,11 +121,13 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 				res.Best = append([]float64(nil), x...)
 			}
 		}
+		evals.Add(int64(len(pop)))
 	}
 	evaluate()
 
 	sinceBest := 0
 	for gen := 0; gen < opt.Generations; gen++ {
+		gens.Inc()
 		next := make([][]float64, 0, opt.PopSize)
 		// Elitism.
 		for _, i := range bestK(fit, opt.Elite) {
@@ -151,6 +163,7 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 			break
 		}
 	}
+	opt.Obs.Series("ga.best").AddRun(res.History)
 	return res
 }
 

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -51,6 +53,10 @@ type Options struct {
 	NoLogTarget bool
 	// Seed drives bootstrapping and the train/validation split.
 	Seed int64
+	// Obs, when non-nil, receives training metrics: trees grown,
+	// boosting rounds, orders built, and fit wall-clock ("hm.*" and
+	// "tree.*" names). It is never serialized with the model.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +142,7 @@ func Train(ds *model.Dataset, opt Options) (*Model, error) {
 	if ds.Len() < 10 {
 		return nil, fmt.Errorf("hm: %d samples is too few", ds.Len())
 	}
+	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	trainDS, valDS := ds.Split(1-opt.ValFrac, rng)
 	tr := newTrainer(trainDS, valDS, opt, rng)
@@ -150,6 +157,10 @@ func Train(ds *model.Dataset, opt Options) (*Model, error) {
 		m.Order = order
 		m.ValErr = tr.valError(m.subs, m.coefs)
 		if 1-m.ValErr >= opt.TargetAccuracy || order >= opt.MaxOrder {
+			opt.Obs.Counter("hm.fits").Inc()
+			opt.Obs.Counter("hm.orders.built").Add(int64(m.Order))
+			opt.Obs.Counter("hm.trees").Add(int64(m.NumTrees()))
+			opt.Obs.Histogram("hm.fit.sec", nil).Observe(time.Since(start).Seconds())
 			return m, nil
 		}
 	}
@@ -172,6 +183,7 @@ func newTrainer(trainDS, valDS *model.Dataset, opt Options, rng *rand.Rand) *tra
 		train:   trainDS, val: valDS,
 		yFit: make([]float64, trainDS.Len()),
 	}
+	t.builder.Instrument(opt.Obs)
 	for i, v := range trainDS.Targets {
 		if opt.NoLogTarget {
 			t.yFit[i] = v
@@ -234,6 +246,7 @@ func (t *trainer) firstOrderProcedure() *firstOrder {
 			}
 		}
 	}
+	t.opt.Obs.Counter("hm.boost.rounds").Add(int64(len(fo.trees)))
 	return fo
 }
 

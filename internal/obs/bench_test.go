@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The overhead benchmarks quantify the two costs that decide whether
+// instrumentation can stay on in benchmarks: the live atomic path and the
+// nil fast path (no registry attached). The nil variants should be within
+// a nanosecond or two of an empty loop; see also the end-to-end guard
+// test in internal/sparksim.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkFloatAdd(b *testing.B) {
+	f := NewRegistry().Float("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(1.5)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", nil)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i%len(vals)])
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1)
+	}
+}
+
+func BenchmarkSpanChildEnd(b *testing.B) {
+	root := NewRegistry().StartSpan("root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root.Child("work").End()
+	}
+}
+
+func BenchmarkSpanChildEndNil(b *testing.B) {
+	var root *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root.Child("work").End()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("n")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}

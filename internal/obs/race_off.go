@@ -1,0 +1,9 @@
+//go:build !race
+
+package obs
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Timing-sensitive guard tests consult it: under -race, atomic
+// operations cost an order of magnitude more, so overhead bounds that
+// hold in production builds do not apply.
+const RaceEnabled = false

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry owns a namespace of metrics. All getters get-or-create by name
+// under a lock — resolve metrics once and hold the pointers in hot paths.
+// A nil *Registry is the off switch: it hands out nil metrics (whose
+// methods no-op) and renders empty reports, so instrumented code never
+// branches on whether observability is enabled.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	floats   map[string]*FloatCounter
+	hists    map[string]*Histogram
+	series   map[string]*Series
+	roots    map[string]*spanNode
+	order    []string // root span names in first-start order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Float returns the named float accumulator, creating it on first use.
+// Returns nil on a nil receiver.
+func (r *Registry) Float(name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.floats == nil {
+		r.floats = make(map[string]*FloatCounter)
+	}
+	c, ok := r.floats[name]
+	if !ok {
+		c = &FloatCounter{}
+		r.floats[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil bounds select DefaultTimeBounds).
+// Returns nil on a nil receiver.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultTimeBounds
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Series returns the named series, creating it on first use. Returns nil
+// on a nil receiver.
+func (r *Registry) Series(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		r.series = make(map[string]*Series)
+	}
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// StartSpan opens an interval on the named root phase. Repeated calls
+// with the same name aggregate into one root node. Returns nil on a nil
+// receiver.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.roots == nil {
+		r.roots = make(map[string]*spanNode)
+	}
+	n, ok := r.roots[name]
+	if !ok {
+		n = &spanNode{name: name}
+		r.roots[name] = n
+		r.order = append(r.order, name)
+	}
+	r.mu.Unlock()
+	return &Span{node: n, start: time.Now()}
+}
+
+// Snapshot is the registry's complete state — the JSON metrics schema
+// documented in DESIGN.md. Maps are keyed by metric name.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Values     map[string]float64           `json:"values,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string][][]float64       `json:"series,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Safe to call while
+// writers are active; each metric is read atomically (the snapshot as a
+// whole is not a single atomic cut). Returns a zero Snapshot on nil.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	floats := make(map[string]*FloatCounter, len(r.floats))
+	for k, v := range r.floats {
+		floats[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	order := append([]string(nil), r.order...)
+	roots := make([]*spanNode, 0, len(order))
+	for _, name := range order {
+		roots = append(roots, r.roots[name])
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, v := range counters {
+			snap.Counters[k] = v.Value()
+		}
+	}
+	if len(floats) > 0 {
+		snap.Values = make(map[string]float64, len(floats))
+		for k, v := range floats {
+			snap.Values[k] = v.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, v := range hists {
+			snap.Histograms[k] = v.snapshot()
+		}
+	}
+	if len(series) > 0 {
+		snap.Series = make(map[string][][]float64, len(series))
+		for k, v := range series {
+			snap.Series[k] = v.Runs()
+		}
+	}
+	for _, n := range roots {
+		snap.Spans = append(snap.Spans, n.snapshot())
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Report renders the snapshot as a human-readable metrics report: the
+// span tree first (per-phase wall-clock), then counters, accumulated
+// values, histograms, and series, each sorted by name.
+func (r *Registry) Report() string {
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	if len(snap.Spans) > 0 {
+		b.WriteString("phases (wall-clock):\n")
+		for _, s := range snap.Spans {
+			writeSpan(&b, s, 1)
+		}
+	}
+	if len(snap.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, k := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(&b, "  %-42s %d\n", k, snap.Counters[k])
+		}
+	}
+	if len(snap.Values) > 0 {
+		b.WriteString("values:\n")
+		for _, k := range sortedKeys(snap.Values) {
+			fmt.Fprintf(&b, "  %-42s %.3f\n", k, snap.Values[k])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, k := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[k]
+			fmt.Fprintf(&b, "  %-42s n=%d mean=%.4g p50=%.4g p95=%.4g max=%.4g\n",
+				k, h.Count, h.Mean, h.P50, h.P95, h.Max)
+		}
+	}
+	if len(snap.Series) > 0 {
+		b.WriteString("series:\n")
+		for _, k := range sortedKeys(snap.Series) {
+			runs := snap.Series[k]
+			for i, run := range runs {
+				if len(run) == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "  %-42s run %d: %d points, first=%.4g last=%.4g\n",
+					k, i+1, len(run), run[0], run[len(run)-1])
+			}
+		}
+	}
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s SpanSnapshot, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if s.Count > 1 {
+		fmt.Fprintf(b, "%s%-*s %9.3fs  (%d calls)\n", indent, 40-2*depth, s.Name, s.Sec, s.Count)
+	} else {
+		fmt.Fprintf(b, "%s%-*s %9.3fs\n", indent, 40-2*depth, s.Name, s.Sec)
+	}
+	for _, c := range s.Children {
+		writeSpan(b, c, depth+1)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

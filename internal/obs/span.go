@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one open wall-clock interval of a named pipeline phase,
+// started by Registry.StartSpan or a parent's Child call and closed by
+// End. Durations aggregate into a tree of named nodes: repeated intervals
+// under the same name (the GA search phase runs once per target size, for
+// example) merge into one node accumulating total seconds and a count,
+// which the report renders as the per-phase breakdown.
+//
+// Spans are goroutine-safe — workers may open sibling children
+// concurrently, and overlapping intervals of the same name each carry
+// their own start time. All methods no-op on a nil receiver, so span code
+// runs unconditionally whether or not a registry is attached.
+type Span struct {
+	node  *spanNode
+	start time.Time
+}
+
+// Child opens an interval on the named child phase. Returns nil on a nil
+// receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{node: s.node.child(name), start: time.Now()}
+}
+
+// End closes the interval, folding its duration into the phase's
+// aggregate. No-op on a nil receiver; ending twice double-counts, so
+// don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.node.add(time.Since(s.start).Seconds())
+}
+
+// spanNode aggregates all intervals recorded under one phase name at one
+// tree position.
+type spanNode struct {
+	name string
+
+	mu       sync.Mutex
+	sec      float64
+	count    int64
+	children map[string]*spanNode
+	order    []string // child names in first-open order
+}
+
+func (n *spanNode) child(name string) *spanNode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.children == nil {
+		n.children = make(map[string]*spanNode)
+	}
+	c, ok := n.children[name]
+	if !ok {
+		c = &spanNode{name: name}
+		n.children[name] = c
+		n.order = append(n.order, name)
+	}
+	return c
+}
+
+func (n *spanNode) add(sec float64) {
+	n.mu.Lock()
+	n.sec += sec
+	n.count++
+	n.mu.Unlock()
+}
+
+// SpanSnapshot is a span tree's JSON form.
+type SpanSnapshot struct {
+	Name string  `json:"name"`
+	Sec  float64 `json:"sec"`
+	// Count is how many intervals ended under this name.
+	Count    int64          `json:"count"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// snapshot captures the subtree. Open (un-ended) intervals contribute
+// nothing — only ended intervals are counted.
+func (n *spanNode) snapshot() SpanSnapshot {
+	n.mu.Lock()
+	snap := SpanSnapshot{Name: n.name, Sec: n.sec, Count: n.count}
+	children := make([]*spanNode, 0, len(n.order))
+	for _, name := range n.order {
+		children = append(children, n.children[name])
+	}
+	n.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}

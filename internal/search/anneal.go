@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/conf"
+	"repro/internal/obs"
 )
 
 // Anneal implements simulated annealing over the configuration space: a
@@ -13,7 +14,8 @@ import (
 // completes the ablation set around the paper's GA choice (§3.3): like
 // recursive random search it escapes local optima stochastically, but with
 // a tunable acceptance temperature rather than restarts.
-func Anneal(space *conf.Space, obj Objective, budget int, seed int64) Result {
+func Anneal(space *conf.Space, obj Objective, budget int, seed int64, reg ...*obs.Registry) Result {
+	obj = track(reg, "anneal", obj)
 	rng := rand.New(rand.NewSource(seed))
 	d := space.Len()
 

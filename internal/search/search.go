@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/conf"
+	"repro/internal/obs"
 )
 
 // Objective maps an encoded configuration vector to the quantity being
@@ -23,9 +24,31 @@ type Result struct {
 	Evaluations int
 }
 
+// CountEvals wraps obj so every evaluation increments the named counter
+// in reg ("search.<name>.evaluations"). With a nil registry the wrapper
+// degenerates to a nil-counter increment, so it is always safe to apply.
+func CountEvals(reg *obs.Registry, name string, obj Objective) Objective {
+	c := reg.Counter("search." + name + ".evaluations")
+	return func(x []float64) float64 {
+		c.Inc()
+		return obj(x)
+	}
+}
+
+// track instruments obj when a registry was passed through a searcher's
+// optional trailing argument.
+func track(reg []*obs.Registry, name string, obj Objective) Objective {
+	if len(reg) == 0 || reg[0] == nil {
+		return obj
+	}
+	return CountEvals(reg[0], name, obj)
+}
+
 // Random evaluates budget uniformly random configurations and keeps the
-// best — the naive baseline every model-guided searcher must beat.
-func Random(space *conf.Space, obj Objective, budget int, seed int64) Result {
+// best — the naive baseline every model-guided searcher must beat. An
+// optional registry counts its objective evaluations.
+func Random(space *conf.Space, obj Objective, budget int, seed int64, reg ...*obs.Registry) Result {
+	obj = track(reg, "random", obj)
 	rng := rand.New(rand.NewSource(seed))
 	res := Result{BestFitness: math.Inf(1)}
 	for i := 0; i < budget; i++ {
@@ -44,7 +67,8 @@ func Random(space *conf.Space, obj Objective, budget int, seed int64) Result {
 // then repeatedly re-sample inside a shrinking box around the incumbent,
 // restarting globally when a region is exhausted. The paper notes its
 // sensitivity to local optima — visible in the ablation bench.
-func RecursiveRandom(space *conf.Space, obj Objective, budget int, seed int64) Result {
+func RecursiveRandom(space *conf.Space, obj Objective, budget int, seed int64, reg ...*obs.Registry) Result {
+	obj = track(reg, "rrs", obj)
 	rng := rand.New(rand.NewSource(seed))
 	d := space.Len()
 	res := Result{BestFitness: math.Inf(1)}
@@ -106,7 +130,8 @@ func RecursiveRandom(space *conf.Space, obj Objective, budget int, seed int64) R
 // ± a step along each axis from the incumbent, halving the step on
 // failure. Its slow local convergence on this space is the paper's reason
 // to prefer GA.
-func Pattern(space *conf.Space, obj Objective, budget int, seed int64) Result {
+func Pattern(space *conf.Space, obj Objective, budget int, seed int64, reg ...*obs.Registry) Result {
+	obj = track(reg, "pattern", obj)
 	rng := rand.New(rand.NewSource(seed))
 	d := space.Len()
 	x := space.Random(rng).Vector()

@@ -1,0 +1,71 @@
+package sparksim
+
+import (
+	"repro/internal/obs"
+)
+
+// simMetrics holds the simulator's pre-resolved metric handles so the hot
+// Run path never touches the registry's name lookup. A nil *simMetrics
+// (the default) is the uninstrumented fast path: Run pays a single nil
+// check and nothing else.
+type simMetrics struct {
+	runs        *obs.Counter      // sparksim.runs: Run calls
+	aborted     *obs.Counter      // sparksim.runs.aborted: jobs past task.maxFailures
+	stageExecs  *obs.Counter      // sparksim.stage.execs: stage executions incl. repeats
+	tasks       *obs.Counter      // sparksim.tasks.launched: attempts incl. retries
+	retries     *obs.Counter      // sparksim.tasks.retried: failed attempts (OOM-driven)
+	spillEvents *obs.Counter      // sparksim.spill.events: stage executions that spilled
+	spillMB     *obs.FloatCounter // sparksim.spill.mb: volume spilled to disk
+	simSec      *obs.FloatCounter // sparksim.sim.sec: accumulated simulated seconds
+	runSimSec   *obs.Histogram    // sparksim.run.simsec: per-run simulated duration
+	runWallSec  *obs.Histogram    // sparksim.run.wallsec: per-run host wall-clock
+}
+
+// wallBounds buckets the host-side cost of one Run call, which sits in
+// the microsecond-to-millisecond range.
+var wallBounds = []float64{
+	1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 1,
+}
+
+// Instrument attaches the simulator to a metrics registry; every
+// subsequent Run records run, stage, task, retry, spill, and OOM-abort
+// accounting plus duration histograms. A nil registry detaches. Call
+// before sharing the simulator across goroutines — the attachment itself
+// is not synchronized, but recording is (the registry's metrics are
+// atomic), so concurrent Runs on an instrumented simulator are safe.
+func (sim *Simulator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		sim.metrics = nil
+		return
+	}
+	sim.metrics = &simMetrics{
+		runs:        reg.Counter("sparksim.runs"),
+		aborted:     reg.Counter("sparksim.runs.aborted"),
+		stageExecs:  reg.Counter("sparksim.stage.execs"),
+		tasks:       reg.Counter("sparksim.tasks.launched"),
+		retries:     reg.Counter("sparksim.tasks.retried"),
+		spillEvents: reg.Counter("sparksim.spill.events"),
+		spillMB:     reg.Float("sparksim.spill.mb"),
+		simSec:      reg.Float("sparksim.sim.sec"),
+		runSimSec:   reg.Histogram("sparksim.run.simsec", nil),
+		runWallSec:  reg.Histogram("sparksim.run.wallsec", wallBounds),
+	}
+}
+
+// record folds one finished run into the registry. stageExecs and
+// spillEvents are accumulated by Run's stage loop: the former counts
+// stage executions including repeats, the latter those that spilled.
+func (m *simMetrics) record(res *Result, stageExecs, spillEvents int, wallSec float64) {
+	m.runs.Inc()
+	if res.Aborted {
+		m.aborted.Inc()
+	}
+	m.stageExecs.Add(int64(stageExecs))
+	m.tasks.Add(int64(res.TasksLaunched))
+	m.retries.Add(int64(res.TasksFailed))
+	m.spillEvents.Add(int64(spillEvents))
+	m.spillMB.Add(res.SpillMB)
+	m.simSec.Add(res.TotalSec)
+	m.runSimSec.Observe(res.TotalSec)
+	m.runWallSec.Observe(wallSec)
+}

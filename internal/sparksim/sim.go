@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/conf"
@@ -22,6 +23,10 @@ type Simulator struct {
 	// Seed makes runs reproducible. Two simulators with the same seed
 	// produce identical results for identical inputs.
 	Seed int64
+
+	// metrics is set by Instrument; nil means uninstrumented, which must
+	// cost Run nothing beyond a nil check.
+	metrics *simMetrics
 }
 
 // New returns a Simulator over the given cluster with all mechanisms
@@ -37,6 +42,10 @@ func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result 
 	if err := p.Validate(); err != nil {
 		panic(err) // programs are compile-time constants in this module
 	}
+	var t0 time.Time
+	if sim.metrics != nil {
+		t0 = time.Now()
+	}
 	e := newEnv(sim.Cluster, cfg, sim.Opt)
 	rng := rand.New(rand.NewSource(sim.runSeed(p, inputMB, cfg)))
 
@@ -47,12 +56,17 @@ func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result 
 	}
 	maxFail := cfg.GetInt(conf.TaskMaxFailures)
 
+	stageExecs, spillEvents := 0, 0
 	for i := range p.Stages {
 		st := &p.Stages[i]
 		sr := &res.Stages[i]
 		sr.Name = st.Name
 		for rep := 0; rep < st.Times(); rep++ {
 			out := sim.runStage(e, st, inputMB, rng, maxFail)
+			stageExecs++
+			if out.spillMB > 0 {
+				spillEvents++
+			}
 			if out.aborted {
 				// The framework gave the job up after
 				// spark.task.maxFailures failures of some task in this
@@ -87,6 +101,9 @@ func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result 
 	}
 	if res.Aborted {
 		res.TotalSec = res.TotalSec*1.5 + 300
+	}
+	if m := sim.metrics; m != nil {
+		m.record(res, stageExecs, spillEvents, time.Since(t0).Seconds())
 	}
 	return res
 }

@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Options controls tree growth.
@@ -104,6 +106,20 @@ type Builder struct {
 	edges       [][]float64 // [feature][bin] -> upper threshold of bin
 	x           [][]float64 // original rows (for thresholds only)
 	allFeatures []int       // 0..d-1, reused when no feature sampling
+
+	// grown and splits are nil unless Instrument attached a registry;
+	// obs metrics no-op on nil receivers, so Grow records unconditionally.
+	grown  *obs.Counter
+	splits *obs.Counter
+}
+
+// Instrument makes every subsequent Grow count trees grown and splits
+// committed in reg ("tree.grown", "tree.splits"). A nil registry
+// detaches. Growing is single-threaded per Builder, but the counters are
+// shared safely with any other registry user.
+func (b *Builder) Instrument(reg *obs.Registry) {
+	b.grown = reg.Counter("tree.grown")
+	b.splits = reg.Counter("tree.splits")
 }
 
 // NewBuilder bins X (n rows × d features).
@@ -155,6 +171,7 @@ func (b *Builder) N() int { return b.n }
 // sample idx (row indices, possibly with repeats for a bootstrap sample).
 // rng drives feature subsampling and may be nil when FeatureFrac >= 1.
 func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tree {
+	b.grown.Inc()
 	t := &Tree{}
 	if len(idx) == 0 {
 		t.nodes = []node{{leaf: true}}
@@ -189,6 +206,7 @@ func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tre
 		}
 		lr := leaves[best]
 		f, bin := lr.feature, lr.bin
+		b.splits.Inc()
 		if t.gains == nil {
 			t.gains = make([]float64, b.d)
 		}
