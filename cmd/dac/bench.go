@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/ga"
+	"repro/internal/hm"
+	"repro/internal/model"
+	"repro/internal/rf"
+)
+
+// benchResult is one serial-versus-optimized measurement pair.
+type benchResult struct {
+	Name       string  `json:"name"`
+	SerialNs   int64   `json:"serial_ns_per_op"`
+	ParallelNs int64   `json:"parallel_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_model.json schema. GOMAXPROCS is recorded
+// because the hm_fit and rf_fit pairs parallelize across cores: on a
+// single-core runner their speedup reflects only the batched-update wins,
+// while ga_search and predict_batch gain from cache locality and the
+// genome memo cache regardless of core count.
+type benchReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	GoVersion  string        `json:"go_version"`
+	Quick      bool          `json:"quick"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchDataset builds the synthetic regression problem the benchmarks
+// train on: d mixed-scale features, a smooth trend, one interaction, and
+// a cliff — enough structure that trees keep splitting.
+func benchDataset(n, d int, seed int64) *model.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := model.NewDataset(nil)
+	for i := 0; i < n; i++ {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64() * float64(10+j%7)
+		}
+		t := 10 + 5*x[0] + x[1]*x[2] + 2*x[d/2]
+		if x[0] > 7 {
+			t += 25
+		}
+		ds.Add(x, t*(1+0.02*rng.NormFloat64()))
+	}
+	return ds
+}
+
+// benchSpaceModel trains the HM model the predict and GA benchmarks
+// query, over the standard configuration space.
+func benchSpaceModel(trees int, window int) *hm.Model {
+	space := conf.StandardSpace()
+	rng := rand.New(rand.NewSource(1))
+	ds := model.NewDataset(nil)
+	for i := 0; i < 1200; i++ {
+		x := space.Random(rng).Vector()
+		t := 20 + 3*x[0] + x[1]*0.5
+		for _, v := range x {
+			t += 0.01 * v
+		}
+		ds.Add(x, t*(1+0.05*rng.NormFloat64()))
+	}
+	m, err := hm.Train(ds, hm.Options{Trees: trees, LearningRate: 0.05, TreeComplexity: 5,
+		TargetAccuracy: 0.999, ConvergeWindow: window, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// runPair benchmarks the serial reference against the optimized path.
+func runPair(name string, serial, parallel func(b *testing.B)) benchResult {
+	s := testing.Benchmark(serial)
+	p := testing.Benchmark(parallel)
+	res := benchResult{Name: name, SerialNs: s.NsPerOp(), ParallelNs: p.NsPerOp()}
+	if res.ParallelNs > 0 {
+		res.Speedup = float64(res.SerialNs) / float64(res.ParallelNs)
+	}
+	fmt.Printf("%-14s serial %12d ns/op   optimized %12d ns/op   speedup %.2fx\n",
+		res.Name, res.SerialNs, res.ParallelNs, res.Speedup)
+	return res
+}
+
+// cmdBench measures the serial reference paths against the batched,
+// parallel pipeline — the same pairs the package benchmarks cover
+// (BenchmarkHMFit, BenchmarkPredictBatch, BenchmarkGASearch,
+// BenchmarkTrainParallel) — and optionally writes BENCH_model.json.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonPath := fs.String("json", "", "write results as JSON (e.g. BENCH_model.json)")
+	quick := fs.Bool("quick", false, "small problem sizes (CI smoke run)")
+	pf := addProfFlags(fs)
+	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// Full sizes mirror the paper's budgets (nt=3600 models, popSize 100 ×
+	// 100 generations); -quick shrinks everything to CI scale.
+	hmTrees, modelTrees, modelWindow := 600, 3600, 4000
+	popSize, generations, rfTrees, probeRows := 100, 100, 100, 512
+	if *quick {
+		hmTrees, modelTrees, modelWindow = 80, 240, 600
+		popSize, generations, rfTrees, probeRows = 40, 15, 30, 128
+	}
+
+	rep := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Quick:      *quick,
+	}
+	fmt.Printf("GOMAXPROCS=%d numcpu=%d %s quick=%v\n", rep.GOMAXPROCS, rep.NumCPU, rep.GoVersion, *quick)
+
+	hmDS := benchDataset(2000, 42, 1)
+	hmOpt := hm.Options{Trees: hmTrees, LearningRate: 0.05, TreeComplexity: 5,
+		Seed: 1, TargetAccuracy: 0.999}
+	rep.Results = append(rep.Results, runPair("hm_fit",
+		func(b *testing.B) {
+			opt := hmOpt
+			opt.Workers = 1
+			opt.NoBatch = true
+			for i := 0; i < b.N; i++ {
+				if _, err := hm.Train(hmDS, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hm.Train(hmDS, hmOpt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+	m := benchSpaceModel(modelTrees, modelWindow)
+	space := conf.StandardSpace()
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, probeRows)
+	for i := range rows {
+		rows[i] = space.Random(rng).Vector()
+	}
+	out := make([]float64, len(rows))
+	rep.Results = append(rep.Results, runPair("predict_batch",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, x := range rows {
+					out[j] = m.Predict(x)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(rows, out)
+			}
+		}))
+
+	gaOpt := ga.Options{PopSize: popSize, Generations: generations, Seed: 1}
+	rep.Results = append(rep.Results, runPair("ga_search",
+		func(b *testing.B) {
+			opt := gaOpt
+			opt.Workers = 1
+			opt.NoCache = true
+			for i := 0; i < b.N; i++ {
+				ga.Minimize(space, m.Predict, nil, opt)
+			}
+		},
+		func(b *testing.B) {
+			opt := gaOpt
+			opt.BatchObj = m.PredictBatch
+			for i := 0; i < b.N; i++ {
+				ga.Minimize(space, m.Predict, nil, opt)
+			}
+		}))
+
+	rfDS := benchDataset(1000, 12, 3)
+	rep.Results = append(rep.Results, runPair("rf_fit",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rf.Train(rfDS, rf.Options{Trees: rfTrees, Seed: 1, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rf.Train(rfDS, rf.Options{Trees: rfTrees, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -67,6 +67,8 @@ func main() {
 		err = cmdImportance(os.Args[2:])
 	case "search":
 		err = cmdSearch(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -78,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench> [flags]
   dac collect -workload TS -n 2000 -out ts.csv
   dac train   -in ts.csv -out ts.model          # fit HM on collected data
   dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
@@ -86,8 +88,10 @@ func usage() {
   dac show    -workload TS
   dac compare -workload TS [-ntrain 2000]
   dac importance -in ts.csv [-top 10]
-pipeline subcommands also accept -report (print metrics report) and
--metrics <path> (write metrics JSON)`)
+  dac bench   [-json BENCH_model.json] [-quick]  # serial vs batched/parallel
+pipeline subcommands also accept -report (print metrics report),
+-metrics <path> (write metrics JSON), -cpuprofile <path> and
+-memprofile <path> (write pprof profiles)`)
 }
 
 // obsFlags registers the observability flags shared by the pipeline
@@ -175,7 +179,13 @@ func cmdCollect(args []string) error {
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	seed := fs.Int64("seed", 1, "random seed")
 	of := addObsFlags(fs)
+	pf := addProfFlags(fs)
 	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	w, err := lookupWorkload(*abbr)
 	if err != nil {
@@ -212,7 +222,13 @@ func cmdTune(args []string) error {
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
 	of := addObsFlags(fs)
+	pf := addProfFlags(fs)
 	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	w, err := lookupWorkload(*abbr)
 	if err != nil {
@@ -258,7 +274,13 @@ func cmdTrain(args []string) error {
 	out := fs.String("out", "dac.model", "model output path")
 	seed := fs.Int64("seed", 1, "random seed")
 	of := addObsFlags(fs)
+	pf := addProfFlags(fs)
 	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	if *in == "" {
 		return fmt.Errorf("train: -in is required")
 	}
@@ -298,7 +320,13 @@ func cmdImportance(args []string) error {
 	top := fs.Int("top", 10, "features to show")
 	seed := fs.Int64("seed", 1, "random seed")
 	of := addObsFlags(fs)
+	pf := addProfFlags(fs)
 	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	if *in == "" {
 		return fmt.Errorf("importance: -in is required")
 	}
@@ -347,7 +375,13 @@ func cmdSearch(args []string) error {
 	out := fs.String("out", "", "write the configuration as a properties file")
 	seed := fs.Int64("seed", 1, "random seed")
 	of := addObsFlags(fs)
+	pf := addProfFlags(fs)
 	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	if *modelPath == "" {
 		return fmt.Errorf("search: -model is required")
 	}
@@ -401,7 +435,13 @@ func cmdCompare(args []string) error {
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
 	of := addObsFlags(fs)
+	pf := addProfFlags(fs)
 	fs.Parse(args)
+	stop, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	w, err := lookupWorkload(*abbr)
 	if err != nil {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profFlags registers the profiling flags every subcommand shares:
+// -cpuprofile records where the command spends its time (the split scan
+// and tree walks, if the optimizations hold), -memprofile records the
+// heap at exit.
+type profFlags struct {
+	cpu *string
+	mem *string
+}
+
+func addProfFlags(fs *flag.FlagSet) profFlags {
+	return profFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this path"),
+		mem: fs.String("memprofile", "", "write a heap profile to this path on exit"),
+	}
+}
+
+// start begins CPU profiling when requested and returns the function to
+// defer: it stops the CPU profile and writes the heap profile. Profile
+// write failures are reported to stderr rather than failing the command —
+// the tuning result still stands.
+func (p profFlags) start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dac: cpuprofile:", err)
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dac: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dac: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dac: memprofile:", err)
+			}
+		}
+	}, nil
+}

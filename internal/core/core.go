@@ -267,11 +267,31 @@ func (t *Tuner) search(m model.Model, dsizeMB float64, seedConfs [][]float64) (c
 	if gaOpt.Seed == 0 {
 		gaOpt.Seed = opt.Seed + 2
 	}
-	x := make([]float64, t.Space.Len()+1)
+	// The objective allocates its feature row per call: the GA's worker
+	// pool calls it from several goroutines, so a shared buffer would race.
+	d := t.Space.Len()
 	obj := func(cfgVec []float64) float64 {
+		x := make([]float64, d+1)
 		copy(x, cfgVec)
-		x[len(x)-1] = dsizeMB
+		x[d] = dsizeMB
 		return m.Predict(x)
+	}
+	// Batch form of the same objective: append the dsize column to every
+	// genome and score the block through the model's batch fast path.
+	// Bit-identical to obj per row (the BatchPredictor contract).
+	var batchObj ga.BatchObjective
+	if bp, ok := m.(model.BatchPredictor); ok {
+		batchObj = func(X [][]float64, out []float64) {
+			rows := make([][]float64, len(X))
+			buf := make([]float64, len(X)*(d+1))
+			for i, cfgVec := range X {
+				row := buf[i*(d+1) : (i+1)*(d+1) : (i+1)*(d+1)]
+				copy(row, cfgVec)
+				row[d] = dsizeMB
+				rows[i] = row
+			}
+			bp.PredictBatch(rows, out)
+		}
 	}
 	if opt.RobustSearch {
 		if um, ok := m.(UncertainModel); ok {
@@ -279,9 +299,12 @@ func (t *Tuner) search(m model.Model, dsizeMB float64, seedConfs [][]float64) (c
 			if kappa <= 0 {
 				kappa = 1
 			}
+			// Uncertainty has no batch form; fall back to per-row calls.
+			batchObj = nil
 			obj = func(cfgVec []float64) float64 {
+				x := make([]float64, d+1)
 				copy(x, cfgVec)
-				x[len(x)-1] = dsizeMB
+				x[d] = dsizeMB
 				pred, std := um.PredictWithUncertainty(x)
 				return pred + kappa*std
 			}
@@ -299,6 +322,25 @@ func (t *Tuner) search(m model.Model, dsizeMB float64, seedConfs [][]float64) (c
 			h.Observe(time.Since(t0).Seconds())
 			return v
 		}
+		if batchObj != nil {
+			// The batch path observes the per-row mean, once per row, so
+			// the histogram's count and sum stay comparable to the
+			// per-row path.
+			innerB := batchObj
+			batchObj = func(X [][]float64, out []float64) {
+				t0 := time.Now()
+				innerB(X, out)
+				if len(X) > 0 {
+					per := time.Since(t0).Seconds() / float64(len(X))
+					for range X {
+						h.Observe(per)
+					}
+				}
+			}
+		}
+	}
+	if gaOpt.BatchObj == nil {
+		gaOpt.BatchObj = batchObj
 	}
 	start := time.Now()
 	res := ga.Minimize(t.Space, obj, seedConfs, gaOpt)
@@ -434,6 +476,11 @@ func (t *RFHOCTuner) Tune(minMB, maxMB float64) (conf.Config, error) {
 	gaOpt := inner.obsGA(t.Opt.GA)
 	if gaOpt.Seed == 0 {
 		gaOpt.Seed = t.Opt.Seed + 4
+	}
+	if gaOpt.BatchObj == nil {
+		// RFHOC's model is datasize-blind, so the genome is the whole
+		// feature row — the forest's batch path applies directly.
+		gaOpt.BatchObj = forest.PredictBatch
 	}
 	seedRng := rand.New(rand.NewSource(t.Opt.Seed + 6))
 	ss := root.Child("search")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"repro/internal/conf"
 	"repro/internal/ga"
 	"repro/internal/hm"
+	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sparksim"
 	"repro/internal/workloads"
 )
@@ -67,6 +70,56 @@ func TestTuneDeterministicAcrossParallelism(t *testing.T) {
 		if vec1[i] != vecN[i] {
 			t.Errorf("best config dimension %d differs: %v (serial) vs %v (parallel %d)",
 				i, vec1[i], vecN[i], wide)
+		}
+	}
+}
+
+// rowOnly hides a model's PredictBatch, forcing the tuner onto the
+// pre-optimization per-row objective path.
+type rowOnly struct{ model.Model }
+
+// TestSearchBatchWiringMatchesSerialGA pins the tuner-level contract of
+// the batched searcher: the dsize-appending batch objective, the genome
+// cache, and the worker pool together must return the exact configuration
+// and prediction the serial per-row search returns.
+func TestSearchBatchWiringMatchesSerialGA(t *testing.T) {
+	space := conf.StandardSpace()
+	rng := rand.New(rand.NewSource(4))
+	ds := model.NewDataset(append(space.Names(), "dsize"))
+	for i := 0; i < 300; i++ {
+		x := append(space.Random(rng).Vector(), 100+900*rng.Float64())
+		ds.Add(x, 10+0.5*x[0]+0.01*x[len(x)-1]*(1+0.02*rng.NormFloat64()))
+	}
+	m, err := hm.Train(ds, hm.Options{Trees: 80, LearningRate: 0.1, TreeComplexity: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mm model.Model, gaOpt ga.Options, reg *obs.Registry) ([]float64, float64) {
+		tuner := &Tuner{Space: space, Opt: Options{GA: gaOpt, Seed: 9}, Obs: reg}
+		cfg, pred, _, _, err := tuner.Search(mm, 500, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Vector(), pred
+	}
+	base := ga.Options{PopSize: 20, Generations: 12}
+	refOpt := base
+	refOpt.Workers = 1
+	refOpt.NoCache = true
+	refVec, refPred := run(rowOnly{m}, refOpt, nil)
+	for _, tc := range []struct {
+		label string
+		reg   *obs.Registry
+	}{{"plain", nil}, {"observed", obs.NewRegistry()}} {
+		vec, pred := run(m, base, tc.reg)
+		if pred != refPred {
+			t.Fatalf("%s: prediction %v differs from serial reference %v", tc.label, pred, refPred)
+		}
+		for i := range refVec {
+			if vec[i] != refVec[i] {
+				t.Fatalf("%s: config dimension %d differs: %v vs %v", tc.label, i, vec[i], refVec[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,128 @@
+package ga
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/conf"
+)
+
+// batchSphere is the BatchObjective form of sphere.
+func batchSphere(space *conf.Space) BatchObjective {
+	obj := sphere(space)
+	return func(X [][]float64, out []float64) {
+		for i, x := range X {
+			out[i] = obj(x)
+		}
+	}
+}
+
+// sameSearch asserts two results agree on everything the tuner consumes:
+// best configuration, fitness, convergence history.
+func sameSearch(t *testing.T, label string, ref, got Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Best, got.Best) {
+		t.Fatalf("%s: best config differs", label)
+	}
+	if ref.BestFitness != got.BestFitness {
+		t.Fatalf("%s: best fitness %v vs %v", label, ref.BestFitness, got.BestFitness)
+	}
+	if !reflect.DeepEqual(ref.History, got.History) {
+		t.Fatalf("%s: history differs", label)
+	}
+	if ref.Converged != got.Converged {
+		t.Fatalf("%s: converged %d vs %d", label, ref.Converged, got.Converged)
+	}
+}
+
+// TestEvaluationModesEquivalent pins the tentpole contract: worker-pool
+// evaluation, the genome cache, and the batch objective must each leave
+// the search result bit-identical to the serial uncached reference, for
+// several seeds.
+func TestEvaluationModesEquivalent(t *testing.T) {
+	space := conf.StandardSpace()
+	for _, seed := range []int64{1, 7, 42} {
+		base := Options{PopSize: 30, Generations: 30, Seed: seed}
+		refOpt := base
+		refOpt.Workers = 1
+		refOpt.NoCache = true
+		ref := Minimize(space, sphere(space), nil, refOpt)
+		if ref.Evaluations != 30*31 {
+			t.Fatalf("seed %d: reference made %d evaluations, want %d", seed, ref.Evaluations, 30*31)
+		}
+
+		for _, tc := range []struct {
+			label string
+			mut   func(*Options)
+		}{
+			{"workers=2", func(o *Options) { o.Workers = 2; o.NoCache = true }},
+			{"workers=gomaxprocs", func(o *Options) { o.NoCache = true }},
+			{"cache", func(o *Options) { o.Workers = 1 }},
+			{"cache+workers", func(o *Options) {}},
+			{"batchobj", func(o *Options) { o.Workers = 1; o.NoCache = true; o.BatchObj = batchSphere(space) }},
+			{"batchobj+cache+workers", func(o *Options) { o.BatchObj = batchSphere(space) }},
+		} {
+			opt := base
+			tc.mut(&opt)
+			got := Minimize(space, sphere(space), nil, opt)
+			sameSearch(t, tc.label, ref, got)
+			if opt.NoCache {
+				if got.Evaluations != ref.Evaluations || got.CacheHits != 0 {
+					t.Fatalf("%s seed %d: evals %d hits %d, want %d/0",
+						tc.label, seed, got.Evaluations, got.CacheHits, ref.Evaluations)
+				}
+			} else {
+				if got.Evaluations+got.CacheHits != ref.Evaluations {
+					t.Fatalf("%s seed %d: evals %d + hits %d != %d",
+						tc.label, seed, got.Evaluations, got.CacheHits, ref.Evaluations)
+				}
+				if got.CacheHits == 0 {
+					t.Fatalf("%s seed %d: cache never hit (elites alone guarantee hits)", tc.label, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossGOMAXPROCS checks the default (parallel,
+// cached) search is scheduling-independent, not just worker-count
+// independent.
+func TestSearchDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	space := conf.StandardSpace()
+	opt := Options{PopSize: 25, Generations: 25, Seed: 3}
+
+	prev := runtime.GOMAXPROCS(1)
+	one := Minimize(space, sphere(space), nil, opt)
+	runtime.GOMAXPROCS(prev)
+	many := Minimize(space, sphere(space), nil, opt)
+	sameSearch(t, "gomaxprocs", one, many)
+	if one.Evaluations != many.Evaluations || one.CacheHits != many.CacheHits {
+		t.Fatalf("eval accounting differs: %d/%d vs %d/%d",
+			one.Evaluations, one.CacheHits, many.Evaluations, many.CacheHits)
+	}
+}
+
+// TestCacheKeyExactBits checks the memo key distinguishes genomes that
+// differ in any bit (no quantization, no collisions on close values).
+func TestCacheKeyExactBits(t *testing.T) {
+	space := conf.StandardSpace()
+	calls := 0
+	obj := func(x []float64) float64 {
+		calls++
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+	opt := Options{PopSize: 4, Generations: 1, Seed: 11, Workers: 1, MutationRate: 1e-12}
+	res := Minimize(space, obj, nil, opt)
+	if res.Evaluations != calls {
+		t.Fatalf("Evaluations=%d but objective ran %d times", res.Evaluations, calls)
+	}
+	if math.IsInf(res.BestFitness, 0) {
+		t.Fatal("no best recorded")
+	}
+}

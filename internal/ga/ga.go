@@ -10,8 +10,11 @@
 package ga
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/conf"
 	"repro/internal/obs"
@@ -19,7 +22,17 @@ import (
 
 // Objective maps an encoded configuration vector to the quantity being
 // minimized — for DAC, the model-predicted execution time in seconds.
+// Objectives must be pure: the search memoizes and replays values for
+// repeated individuals.
 type Objective func(x []float64) float64
+
+// BatchObjective scores a whole block of configurations in one call:
+// out[i] receives the objective of X[i]. Model-backed objectives
+// implement it with tree-at-a-time batch prediction, which is the GA hot
+// path's fast lane. Implementations must be pure, agree with the per-row
+// Objective they accompany, and be safe for concurrent calls on disjoint
+// blocks.
+type BatchObjective func(X [][]float64, out []float64)
 
 // Options are the GA hyperparameters. The zero value selects the paper's
 // setup: population 100, 100 generations, mutation rate 0.01.
@@ -41,6 +54,20 @@ type Options struct {
 	// Patience stops the search after this many generations without
 	// improvement; 0 disables early stopping.
 	Patience int
+	// BatchObj, when non-nil, replaces per-row calls of the Objective
+	// passed to Minimize for whole-population scoring (the Objective may
+	// then be nil).
+	BatchObj BatchObjective
+	// Workers bounds concurrent objective evaluation (0 = GOMAXPROCS,
+	// 1 = serial). The search result is identical for any value; with
+	// Workers != 1 the objective must be safe for concurrent calls.
+	Workers int
+	// NoCache disables genome memoization. By default individuals that
+	// reappear — elites, duplicate children of converged populations —
+	// are never re-scored: their fitness replays from a cache keyed on
+	// the exact gene bits, and Evaluations counts only real objective
+	// calls. The search result is identical with or without the cache.
+	NoCache bool
 	// Seed drives all randomness.
 	Seed int64
 	// Obs, when non-nil, receives search metrics: runs, generations,
@@ -48,6 +75,14 @@ type Options struct {
 	// trajectory as a run of the "ga.best" series. Recording never
 	// perturbs the search.
 	Obs *obs.Registry
+}
+
+// workers resolves the effective evaluation parallelism.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) withDefaults() Options {
@@ -81,8 +116,11 @@ type Result struct {
 	// History records the best fitness after each generation — the
 	// convergence curves of Fig. 11.
 	History []float64
-	// Evaluations counts objective calls.
+	// Evaluations counts objective calls (memoized replays excluded).
 	Evaluations int
+	// CacheHits counts fitness lookups served by the genome cache instead
+	// of an objective call.
+	CacheHits int
 	// Converged is the first generation (1-based) whose best fitness is
 	// within 0.5% of the final best — the convergence point plotted in
 	// Fig. 11 — or 0 if the history is empty.
@@ -112,16 +150,102 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 
 	res := Result{BestFitness: math.Inf(1)}
 	fit := make([]float64, opt.PopSize)
+
+	// Genome memoization: fitness keyed on the exact gene bits, so
+	// repeated individuals (elites, duplicate children late in a
+	// converged run) never reach the objective again.
+	var cache map[string]float64
+	if !opt.NoCache {
+		cache = make(map[string]float64, 4*opt.PopSize)
+	}
+	keyBuf := make([]byte, 0, 8*d)
+	keyOf := func(x []float64) string {
+		keyBuf = keyBuf[:0]
+		for _, v := range x {
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, math.Float64bits(v))
+		}
+		return string(keyBuf)
+	}
+
+	// evaluate scores the population: cache lookups first, then one pass
+	// over the unique unseen genomes — batched and fanned out across
+	// workers — and finally a serial scan in population order, so the
+	// best-individual tie-breaking matches the reference implementation
+	// bit for bit regardless of worker count or cache state.
 	evaluate := func() {
-		for i, x := range pop {
-			fit[i] = obj(x)
-			res.Evaluations++
-			if fit[i] < res.BestFitness {
-				res.BestFitness = fit[i]
-				res.Best = append([]float64(nil), x...)
+		X := pop
+		var keys []string
+		var rows [][]int
+		if cache != nil {
+			X = X[:0:0]
+			batch := make(map[string]int, len(pop))
+			for i, x := range pop {
+				k := keyOf(x)
+				if v, ok := cache[k]; ok {
+					fit[i] = v
+					res.CacheHits++
+					continue
+				}
+				if j, ok := batch[k]; ok {
+					rows[j] = append(rows[j], i)
+					res.CacheHits++
+					continue
+				}
+				batch[k] = len(X)
+				X = append(X, x)
+				keys = append(keys, k)
+				rows = append(rows, []int{i})
 			}
 		}
-		evals.Add(int64(len(pop)))
+		m := len(X)
+		vals := make([]float64, m)
+		if w := min(opt.workers(), m); w <= 1 {
+			if opt.BatchObj != nil {
+				opt.BatchObj(X, vals)
+			} else {
+				for j, x := range X {
+					vals[j] = obj(x)
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			for c := 0; c < w; c++ {
+				lo, hi := c*m/w, (c+1)*m/w
+				if lo == hi {
+					continue
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					if opt.BatchObj != nil {
+						opt.BatchObj(X[lo:hi], vals[lo:hi])
+					} else {
+						for j := lo; j < hi; j++ {
+							vals[j] = obj(X[j])
+						}
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		res.Evaluations += m
+		evals.Add(int64(m))
+		if cache != nil {
+			for j, v := range vals {
+				cache[keys[j]] = v
+				for _, i := range rows[j] {
+					fit[i] = v
+				}
+			}
+		} else {
+			copy(fit, vals)
+		}
+		for i, v := range fit {
+			if v < res.BestFitness {
+				res.BestFitness = v
+				res.Best = append([]float64(nil), pop[i]...)
+			}
+		}
 	}
 	evaluate()
 

@@ -11,12 +11,21 @@
 // learning rate", which we instantiate as the least-squares coefficients
 // on a held-out validation split — the choice that makes the blend an
 // improvement by construction.
+//
+// Training is batched and parallel: each first-order model's randomness
+// is derived from (Seed, order) alone, so candidate orders fit
+// concurrently under Workers > 1 while producing exactly the model a
+// serial run would; the boosting inner loop updates train/validation
+// predictions tree-at-a-time (tree.AccumulateBatch) instead of row-at-a-
+// time, and split finding fans out across features inside internal/tree.
 package hm
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -51,6 +60,16 @@ type Options struct {
 	// LogTarget fits log execution time (recommended: times span
 	// orders of magnitude). Default true for the zero value.
 	NoLogTarget bool
+	// Workers bounds training parallelism: concurrent first-order fits
+	// and the split-scan fan-out inside tree growth (0 = GOMAXPROCS,
+	// 1 = fully serial). The trained model is identical for any value.
+	Workers int
+	// NoBatch restores the row-at-a-time reference update path: float
+	// tree walks per training row instead of binned tree-at-a-time
+	// accumulation. The trained model is bit-identical either way; the
+	// flag exists so benchmarks and equivalence tests can compare the
+	// batched pipeline against the pre-optimization baseline.
+	NoBatch bool
 	// Seed drives bootstrapping and the train/validation split.
 	Seed int64
 	// Obs, when non-nil, receives training metrics: trees grown,
@@ -84,6 +103,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// workers resolves the effective training parallelism.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // firstOrder is one boosted-tree model: base + lr·Σ trees.
 type firstOrder struct {
 	base  float64
@@ -97,6 +124,17 @@ func (f *firstOrder) predict(x []float64) float64 {
 		v += f.lr * t.Predict(x)
 	}
 	return v
+}
+
+// predictBatch writes the fit-space prediction for every row of X into
+// out, accumulating tree-at-a-time. Bit-identical to predict per row.
+func (f *firstOrder) predictBatch(X [][]float64, out []float64) {
+	for i := range out {
+		out[i] = f.base
+	}
+	for _, t := range f.trees {
+		t.AccumulateBatch(X, f.lr, out)
+	}
 }
 
 // Model is a trained HM model: a coefficient blend of first-order models
@@ -124,6 +162,31 @@ func (m *Model) Predict(x []float64) float64 {
 	return v
 }
 
+// PredictBatch writes the predicted execution time for every row of X
+// into out (len(out) must be at least len(X)). Each small boosted tree is
+// evaluated over the whole batch before moving on, keeping its node
+// arrays in cache — the layout the GA's population evaluation depends on.
+// Results are bit-identical to calling Predict per row, and the method is
+// safe for concurrent use (the model is read-only).
+func (m *Model) PredictBatch(X [][]float64, out []float64) {
+	tmp := make([]float64, len(X))
+	for i := range X {
+		out[i] = 0
+	}
+	for j, s := range m.subs {
+		s.predictBatch(X, tmp)
+		c := m.coefs[j]
+		for i := range X {
+			out[i] += c * tmp[i]
+		}
+	}
+	if m.log {
+		for i := range X {
+			out[i] = math.Exp(out[i])
+		}
+	}
+}
+
 // NumTrees returns the total sub-model (tree) count across all orders.
 func (m *Model) NumTrees() int {
 	n := 0
@@ -145,18 +208,49 @@ func Train(ds *model.Dataset, opt Options) (*Model, error) {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	trainDS, valDS := ds.Split(1-opt.ValFrac, rng)
-	tr := newTrainer(trainDS, valDS, opt, rng)
+	// One independent seed per candidate order, drawn up front: each
+	// first-order model's randomness depends only on (Seed, order), so
+	// fits can run concurrently — and unneeded ones can be discarded —
+	// without changing any model that is kept.
+	orderSeeds := make([]int64, opt.MaxOrder)
+	for i := range orderSeeds {
+		orderSeeds[i] = rng.Int63()
+	}
+	tr := newTrainer(trainDS, valDS, opt)
+
+	// Speculative concurrent fits: when the blend needs order k, the
+	// fits for orders 2..k were already running while order 1 was
+	// evaluated. The abort flag reclaims the rare over-speculated fit.
+	var abort atomic.Bool
+	var pending []chan *firstOrder
+	if opt.workers() > 1 && opt.MaxOrder > 1 {
+		pending = make([]chan *firstOrder, opt.MaxOrder)
+		for k := range pending {
+			k := k
+			ch := make(chan *firstOrder, 1)
+			pending[k] = ch
+			go func() {
+				ch <- tr.firstOrderProcedure(rand.New(rand.NewSource(orderSeeds[k])), &abort)
+			}()
+		}
+	}
 
 	m := &Model{log: !opt.NoLogTarget, Order: 1}
 	// Algorithm 1 main loop: build first-order models until the target
 	// accuracy is met or the order budget is exhausted.
 	for order := 1; ; order++ {
-		fo := tr.firstOrderProcedure()
+		var fo *firstOrder
+		if pending != nil {
+			fo = <-pending[order-1]
+		} else {
+			fo = tr.firstOrderProcedure(rand.New(rand.NewSource(orderSeeds[order-1])), nil)
+		}
 		m.subs = append(m.subs, fo)
 		m.coefs = tr.fitCoefs(m.subs)
 		m.Order = order
 		m.ValErr = tr.valError(m.subs, m.coefs)
 		if 1-m.ValErr >= opt.TargetAccuracy || order >= opt.MaxOrder {
+			abort.Store(true)
 			opt.Obs.Counter("hm.fits").Inc()
 			opt.Obs.Counter("hm.orders.built").Add(int64(m.Order))
 			opt.Obs.Counter("hm.trees").Add(int64(m.NumTrees()))
@@ -166,22 +260,32 @@ func Train(ds *model.Dataset, opt Options) (*Model, error) {
 	}
 }
 
-// trainer carries the shared state of one Train call.
+// trainer carries the shared state of one Train call. All fields are
+// read-only after construction, so concurrent firstOrderProcedure calls
+// may share one trainer.
 type trainer struct {
 	opt     Options
-	rng     *rand.Rand
 	builder *tree.Builder
 	train   *model.Dataset
 	val     *model.Dataset
 	yFit    []float64 // training targets in fit space (log or raw)
+	// trainBM/valBM are the train and validation rows pre-encoded into
+	// the builder's bins, so every boosting round updates predictions by
+	// walking the fresh tree over cached byte columns (nil under NoBatch).
+	trainBM *tree.BinMatrix
+	valBM   *tree.BinMatrix
 }
 
-func newTrainer(trainDS, valDS *model.Dataset, opt Options, rng *rand.Rand) *trainer {
+func newTrainer(trainDS, valDS *model.Dataset, opt Options) *trainer {
 	t := &trainer{
-		opt: opt, rng: rng,
+		opt:     opt,
 		builder: tree.NewBuilder(trainDS.Features),
 		train:   trainDS, val: valDS,
 		yFit: make([]float64, trainDS.Len()),
+	}
+	if !opt.NoBatch {
+		t.trainBM = t.builder.Binned()
+		t.valBM = t.builder.Bin(valDS.Features)
 	}
 	t.builder.Instrument(opt.Obs)
 	for i, v := range trainDS.Targets {
@@ -196,8 +300,10 @@ func newTrainer(trainDS, valDS *model.Dataset, opt Options, rng *rand.Rand) *tra
 
 // firstOrderProcedure is Algorithm 1's FirstOrderProcedure: stochastic
 // gradient boosting with bootstrap samples, early-stopped on target
-// accuracy or convergence.
-func (t *trainer) firstOrderProcedure() *firstOrder {
+// accuracy or convergence. rng must be private to this call; abort, when
+// non-nil, lets Train cancel a speculative fit whose order turned out not
+// to be needed (the partial result is discarded).
+func (t *trainer) firstOrderProcedure(rng *rand.Rand, abort *atomic.Bool) *firstOrder {
 	n := t.train.Len()
 	fo := &firstOrder{lr: t.opt.LearningRate}
 	sum := 0.0
@@ -215,23 +321,36 @@ func (t *trainer) firstOrderProcedure() *firstOrder {
 		valPred[i] = fo.base
 	}
 	resid := make([]float64, n)
-	gOpt := tree.Options{MaxSplits: t.opt.TreeComplexity, MinLeaf: t.opt.MinLeaf}
+	gOpt := tree.Options{
+		MaxSplits: t.opt.TreeComplexity,
+		MinLeaf:   t.opt.MinLeaf,
+		Workers:   t.opt.workers(),
+		NoBatch:   t.opt.NoBatch,
+	}
 
 	bestErr := math.Inf(1)
 	sinceBest := 0
 	const checkEvery = 10
 	for k := 0; k < t.opt.Trees; k++ {
+		if abort != nil && abort.Load() {
+			break
+		}
 		for i := range resid {
 			resid[i] = t.yFit[i] - pred[i]
 		}
-		idx := model.Bootstrap(n, t.rng)
-		tr := t.builder.Grow(resid, idx, gOpt, t.rng)
+		idx := model.Bootstrap(n, rng)
+		tr := t.builder.Grow(resid, idx, gOpt, rng)
 		fo.trees = append(fo.trees, tr)
-		for i, row := range t.train.Features {
-			pred[i] += fo.lr * tr.Predict(row)
-		}
-		for i, row := range t.val.Features {
-			valPred[i] += fo.lr * tr.Predict(row)
+		if t.opt.NoBatch {
+			for i, x := range t.train.Features {
+				pred[i] += fo.lr * tr.Predict(x)
+			}
+			for i, x := range t.val.Features {
+				valPred[i] += fo.lr * tr.Predict(x)
+			}
+		} else {
+			tr.AccumulateBinned(t.trainBM, fo.lr, pred)
+			tr.AccumulateBinned(t.valBM, fo.lr, valPred)
 		}
 		if (k+1)%checkEvery == 0 {
 			e := t.relErr(valPred)
@@ -248,6 +367,18 @@ func (t *trainer) firstOrderProcedure() *firstOrder {
 	}
 	t.opt.Obs.Counter("hm.boost.rounds").Add(int64(len(fo.trees)))
 	return fo
+}
+
+// subPredictions fills out with s's fit-space predictions over X, via the
+// batch path unless the reference (NoBatch) mode is active.
+func (t *trainer) subPredictions(s *firstOrder, X [][]float64, out []float64) {
+	if t.opt.NoBatch {
+		for i, x := range X {
+			out[i] = s.predict(x)
+		}
+		return
+	}
+	s.predictBatch(X, out)
 }
 
 // relErr computes the mean Eq. 2 error of fit-space predictions against
@@ -279,9 +410,7 @@ func (t *trainer) fitCoefs(subs []*firstOrder) []float64 {
 	preds := make([][]float64, k)
 	for j, s := range subs {
 		preds[j] = make([]float64, t.val.Len())
-		for i, row := range t.val.Features {
-			preds[j][i] = s.predict(row)
-		}
+		t.subPredictions(s, t.val.Features, preds[j])
 	}
 	yv := make([]float64, t.val.Len())
 	for i, v := range t.val.Targets {
@@ -319,12 +448,16 @@ func (t *trainer) valError(subs []*firstOrder, coefs []float64) float64 {
 	if t.val.Len() == 0 {
 		return 0
 	}
-	sum := 0.0
-	for i, row := range t.val.Features {
-		p := 0.0
-		for j, s := range subs {
-			p += coefs[j] * s.predict(row)
+	acc := make([]float64, t.val.Len())
+	tmp := make([]float64, t.val.Len())
+	for j, s := range subs {
+		t.subPredictions(s, t.val.Features, tmp)
+		for i := range acc {
+			acc[i] += coefs[j] * tmp[i]
 		}
+	}
+	sum := 0.0
+	for i, p := range acc {
 		if !t.opt.NoLogTarget {
 			p = math.Exp(p)
 		}

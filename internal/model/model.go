@@ -19,6 +19,31 @@ type Model interface {
 	Predict(x []float64) float64
 }
 
+// BatchPredictor is implemented by models that can score a whole block of
+// rows in one call (hm.Model, rf.Forest): walking the ensemble
+// tree-at-a-time over all rows keeps each tree's nodes hot in cache
+// instead of re-faulting the whole model per row. Implementations must
+// return results bit-identical to calling Predict per row.
+type BatchPredictor interface {
+	Model
+	// PredictBatch writes the prediction for X[i] into out[i];
+	// len(out) must equal len(X).
+	PredictBatch(X [][]float64, out []float64)
+}
+
+// PredictBatch writes m's predictions for every row of X into out, using
+// the model's batch fast path when it has one and falling back to per-row
+// Predict otherwise. Either way out is bit-identical.
+func PredictBatch(m Model, X [][]float64, out []float64) {
+	if bp, ok := m.(BatchPredictor); ok {
+		bp.PredictBatch(X, out)
+		return
+	}
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+}
+
 // Trainer fits a Model to a dataset. Implementations live in
 // internal/{hm,rf,ann,svm,rs}.
 type Trainer interface {
@@ -139,14 +164,18 @@ type ErrStats struct {
 // accuracy such as 90%").
 func (e ErrStats) Accuracy() float64 { return 1 - e.Mean }
 
-// Evaluate computes Eq. 2 error statistics of m over ds.
+// Evaluate computes Eq. 2 error statistics of m over ds. It scores the
+// test set through PredictBatch, so batch-capable models are evaluated on
+// their fast path (same errors bit-for-bit).
 func Evaluate(m Model, ds *Dataset) ErrStats {
-	errs := make([]float64, ds.Len())
-	for i, row := range ds.Features {
-		errs[i] = RelErr(m.Predict(row), ds.Targets[i])
-	}
-	if len(errs) == 0 {
+	if ds.Len() == 0 {
 		return ErrStats{}
+	}
+	preds := make([]float64, ds.Len())
+	PredictBatch(m, ds.Features, preds)
+	errs := make([]float64, ds.Len())
+	for i, p := range preds {
+		errs[i] = RelErr(p, ds.Targets[i])
 	}
 	return ErrStats{
 		Mean: stats.Mean(errs),
@@ -230,3 +259,12 @@ func UnLog(m Model) Model { return expModel{m} }
 type expModel struct{ inner Model }
 
 func (e expModel) Predict(x []float64) float64 { return math.Exp(e.inner.Predict(x)) }
+
+// PredictBatch keeps the wrapped model's batch fast path available through
+// the UnLog wrapper.
+func (e expModel) PredictBatch(X [][]float64, out []float64) {
+	PredictBatch(e.inner, X, out)
+	for i, v := range out {
+		out[i] = math.Exp(v)
+	}
+}

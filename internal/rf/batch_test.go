@@ -1,0 +1,75 @@
+package rf
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestPredictBatchMatchesPredict pins the batch contract: PredictBatch
+// must agree bit-for-bit with per-row Predict, for log and raw targets.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	ds := synthDS(400, 71)
+	probe := synthDS(150, 72)
+	for _, noLog := range []bool{false, true} {
+		f, err := Train(ds, Options{Trees: 40, Seed: 2, NoLogTarget: noLog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, probe.Len())
+		f.PredictBatch(probe.Features, out)
+		for i, x := range probe.Features {
+			if got := f.Predict(x); got != out[i] {
+				t.Fatalf("noLog=%v row %d: Predict=%v PredictBatch=%v", noLog, i, got, out[i])
+			}
+		}
+	}
+}
+
+// TestTrainWorkersEquivalence pins the parallel-training determinism
+// contract: the forest must be identical for any worker count — each
+// tree's randomness depends only on (Seed, tree index).
+func TestTrainWorkersEquivalence(t *testing.T) {
+	ds := synthDS(500, 73)
+	probes := synthDS(80, 74).Features
+	serial, err := Train(ds, Options{Trees: 30, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0), 7} {
+		par, err := Train(ds, Options{Trees: 30, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range probes {
+			if a, b := serial.Predict(x), par.Predict(x); a != b {
+				t.Fatalf("workers=%d probe %d: %v vs %v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestTrainDeterministicAcrossGOMAXPROCS checks the default (parallel)
+// training path is scheduling-independent.
+func TestTrainDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ds := synthDS(300, 75)
+	opt := Options{Trees: 20, Seed: 9}
+
+	prev := runtime.GOMAXPROCS(1)
+	one, err := Train(ds, opt)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(76))
+	for k := 0; k < 40; k++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		if a, b := one.Predict(x), many.Predict(x); a != b {
+			t.Fatalf("GOMAXPROCS=1 vs default differ at %v: %v vs %v", x, a, b)
+		}
+	}
+}

@@ -15,6 +15,26 @@ func BenchmarkTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainParallel compares serial forest growth against the
+// worker-pool path (identical forests; see batch_test.go).
+func BenchmarkTrainParallel(b *testing.B) {
+	ds := synthDS(2000, 1)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		opt := Options{Trees: 100, Seed: 1, Workers: bc.workers}
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(ds, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPredict measures one forest query.
 func BenchmarkPredict(b *testing.B) {
 	ds := synthDS(1000, 2)

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/tree"
@@ -27,8 +30,20 @@ type Options struct {
 	FeatureFrac float64
 	// NoLogTarget disables fitting log execution time.
 	NoLogTarget bool
+	// Workers bounds how many trees grow concurrently (0 = GOMAXPROCS,
+	// 1 = serial). Each tree's randomness derives from (Seed, tree index)
+	// alone, so the trained forest is identical for any value.
+	Workers int
 	// Seed drives bagging and feature sampling.
 	Seed int64
+}
+
+// workers resolves the effective training parallelism.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +82,31 @@ func (f *Forest) Predict(x []float64) float64 {
 		return math.Exp(v)
 	}
 	return v
+}
+
+// PredictBatch writes the predicted execution time for every row of X
+// into out (len(out) must be at least len(X)), accumulating
+// tree-at-a-time so each tree's node arrays stay hot in cache across the
+// whole batch — the evaluation order the GA's population scoring uses.
+// Results are bit-identical to calling Predict per row, and the method is
+// safe for concurrent use (the forest is read-only).
+func (f *Forest) PredictBatch(X [][]float64, out []float64) {
+	for i := range X {
+		out[i] = 0
+	}
+	if len(f.trees) == 0 {
+		return
+	}
+	for _, t := range f.trees {
+		t.AccumulateBatch(X, 1, out)
+	}
+	inv := float64(len(f.trees))
+	for i := range X {
+		out[i] = out[i] / inv
+		if f.log {
+			out[i] = math.Exp(out[i])
+		}
+	}
 }
 
 // NumTrees returns the forest size.
@@ -118,14 +158,52 @@ func Train(ds *model.Dataset, opt Options) (*Forest, error) {
 			y[i] = math.Log(math.Max(1e-9, t))
 		}
 	}
+	// One independent seed per tree, drawn up front: a tree's bootstrap
+	// sample and feature draws depend only on (Seed, tree index), so trees
+	// can grow concurrently into their slots while matching the serial
+	// forest exactly.
 	rng := rand.New(rand.NewSource(opt.Seed))
+	seeds := make([]int64, opt.Trees)
+	for k := range seeds {
+		seeds[k] = rng.Int63()
+	}
 	builder := tree.NewBuilder(ds.Features)
 	gOpt := tree.Options{MaxSplits: opt.MaxSplits, MinLeaf: opt.MinLeaf, FeatureFrac: opt.FeatureFrac}
-	f := &Forest{log: !opt.NoLogTarget, trees: make([]*tree.Tree, 0, opt.Trees)}
-	for k := 0; k < opt.Trees; k++ {
-		idx := model.Bootstrap(n, rng)
-		f.trees = append(f.trees, builder.Grow(y, idx, gOpt, rng))
+	f := &Forest{log: !opt.NoLogTarget, trees: make([]*tree.Tree, opt.Trees)}
+	grow := func(k int) {
+		trng := rand.New(rand.NewSource(seeds[k]))
+		idx := model.Bootstrap(n, trng)
+		f.trees[k] = builder.Grow(y, idx, gOpt, trng)
 	}
+	workers := opt.workers()
+	if workers > opt.Trees {
+		workers = opt.Trees
+	}
+	if workers <= 1 {
+		for k := range f.trees {
+			grow(k)
+		}
+		return f, nil
+	}
+	// Deep forest trees dominate their own split scans, so parallelism
+	// lives at the tree level: a worker pool drains the slot counter and
+	// each tree lands in its fixed slot regardless of scheduling.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= opt.Trees {
+					return
+				}
+				grow(k)
+			}
+		}()
+	}
+	wg.Wait()
 	return f, nil
 }
 

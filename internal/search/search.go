@@ -8,13 +8,18 @@ package search
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/conf"
 	"repro/internal/obs"
 )
 
 // Objective maps an encoded configuration vector to the quantity being
-// minimized.
+// minimized. Random fans evaluations out over a worker pool, so objectives
+// must be safe for concurrent calls (model predictions are); the
+// inherently sequential searchers (RecursiveRandom, Pattern, Anneal) call
+// it from a single goroutine.
 type Objective func(x []float64) float64
 
 // Result is a searcher's outcome.
@@ -47,17 +52,46 @@ func track(reg []*obs.Registry, name string, obj Objective) Objective {
 // Random evaluates budget uniformly random configurations and keeps the
 // best — the naive baseline every model-guided searcher must beat. An
 // optional registry counts its objective evaluations.
+//
+// The candidate stream is drawn serially (so it depends only on seed),
+// evaluation fans out over GOMAXPROCS workers on disjoint chunks, and the
+// winner is picked by a serial first-minimum scan — the result is
+// bit-identical to the sequential loop for any scheduling.
 func Random(space *conf.Space, obj Objective, budget int, seed int64, reg ...*obs.Registry) Result {
 	obj = track(reg, "random", obj)
 	rng := rand.New(rand.NewSource(seed))
 	res := Result{BestFitness: math.Inf(1)}
-	for i := 0; i < budget; i++ {
-		x := space.Random(rng).Vector()
-		f := obj(x)
-		res.Evaluations++
+	if budget <= 0 {
+		return res
+	}
+	X := make([][]float64, budget)
+	for i := range X {
+		X[i] = space.Random(rng).Vector()
+	}
+	fs := make([]float64, budget)
+	if w := min(runtime.GOMAXPROCS(0), budget); w <= 1 {
+		for i, x := range X {
+			fs[i] = obj(x)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for c := 0; c < w; c++ {
+			lo, hi := c*budget/w, (c+1)*budget/w
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					fs[i] = obj(X[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	res.Evaluations = budget
+	for i, f := range fs {
 		if f < res.BestFitness {
 			res.BestFitness = f
-			res.Best = x
+			res.Best = X[i]
 		}
 	}
 	return res

@@ -70,3 +70,42 @@ func BenchmarkPredict(b *testing.B) {
 		tr.Predict(x)
 	}
 }
+
+// BenchmarkPredictBatch compares per-row prediction against the
+// tree-at-a-time batch path over a GA-population-sized block of rows.
+func BenchmarkPredictBatch(b *testing.B) {
+	X, y := benchData(2000, 42)
+	builder := NewBuilder(X)
+	tr := builder.Grow(y, allIdx(2000), Options{MaxSplits: 5}, nil)
+	rows := X[:100]
+	out := make([]float64, len(rows))
+	b.Run("perrow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r, x := range rows {
+				out[r] = tr.Predict(x)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.PredictBatch(rows, out)
+		}
+	})
+}
+
+// BenchmarkGrowParallel measures the parallel split scan against the
+// serial one at HM's paper-scale node size (2000 rows × 42 features).
+func BenchmarkGrowParallel(b *testing.B) {
+	X, y := benchData(2000, 42)
+	builder := NewBuilder(X)
+	idx := allIdx(2000)
+	for _, workers := range []int{1, 4} {
+		opt := Options{MaxSplits: 5, Workers: workers}
+		b.Run(map[bool]string{true: "serial", false: "parallel"}[workers == 1], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				builder.Grow(y, idx, opt, nil)
+			}
+		})
+	}
+}

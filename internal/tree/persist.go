@@ -17,15 +17,17 @@ type FlatNode struct {
 
 // Flatten returns the tree's nodes in storage order.
 func (t *Tree) Flatten() []FlatNode {
-	out := make([]FlatNode, len(t.nodes))
-	for i, n := range t.nodes {
-		out[i] = FlatNode{
-			Feature:   int32(n.feature),
-			Threshold: n.threshold,
-			Left:      n.left,
-			Right:     n.right,
-			Value:     n.value,
-			Leaf:      n.leaf,
+	out := make([]FlatNode, len(t.feature))
+	for i := range t.feature {
+		if t.feature[i] < 0 {
+			out[i] = FlatNode{Value: t.thresh[i], Leaf: true}
+		} else {
+			out[i] = FlatNode{
+				Feature:   t.feature[i],
+				Threshold: t.thresh[i],
+				Left:      t.left[i],
+				Right:     t.right[i],
+			}
 		}
 	}
 	return out
@@ -37,24 +39,29 @@ func FromFlat(nodes []FlatNode) (*Tree, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("tree: empty node list")
 	}
-	t := &Tree{nodes: make([]node, len(nodes))}
+	t := &Tree{
+		feature: make([]int32, len(nodes)),
+		thresh:  make([]float64, len(nodes)),
+		left:    make([]int32, len(nodes)),
+		right:   make([]int32, len(nodes)),
+	}
 	for i, n := range nodes {
-		if !n.Leaf {
-			if n.Left < 0 || int(n.Left) >= len(nodes) || n.Right < 0 || int(n.Right) >= len(nodes) {
-				return nil, fmt.Errorf("tree: node %d has child out of range", i)
-			}
-			if n.Feature < 0 {
-				return nil, fmt.Errorf("tree: node %d has negative feature", i)
-			}
+		if n.Leaf {
+			t.feature[i] = leafMarker
+			t.thresh[i] = n.Value
+			t.leaves++
+			continue
 		}
-		t.nodes[i] = node{
-			feature:   int(n.Feature),
-			threshold: n.Threshold,
-			left:      n.Left,
-			right:     n.Right,
-			value:     n.Value,
-			leaf:      n.Leaf,
+		if n.Left < 0 || int(n.Left) >= len(nodes) || n.Right < 0 || int(n.Right) >= len(nodes) {
+			return nil, fmt.Errorf("tree: node %d has child out of range", i)
 		}
+		if n.Feature < 0 {
+			return nil, fmt.Errorf("tree: node %d has negative feature", i)
+		}
+		t.feature[i] = n.Feature
+		t.thresh[i] = n.Threshold
+		t.left[i] = n.Left
+		t.right[i] = n.Right
 	}
 	return t, nil
 }

@@ -6,13 +6,18 @@
 // Split finding uses per-feature histogram binning so that growing the
 // thousands of small trees a boosted model needs stays cheap: a Builder
 // bins the design matrix once, and each Grow call only accumulates bin
-// statistics for its sample.
+// statistics for its sample. Grown trees store their nodes in a flat
+// structure-of-arrays layout so batch prediction (PredictBatch,
+// AccumulateBatch) streams rows over a tree whose node arrays stay hot
+// in cache — the tree-at-a-time evaluation order the GA and boosting hot
+// paths depend on.
 package tree
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -27,6 +32,16 @@ type Options struct {
 	// FeatureFrac is the fraction of features considered per split
 	// (default 1; random forests use less).
 	FeatureFrac float64
+	// Workers bounds the goroutines one split-finding scan may use on
+	// large nodes (0 or 1 = serial). The grown tree is identical for any
+	// value: feature chunks are scanned independently and merged with the
+	// serial first-maximum tie-breaking rule.
+	Workers int
+	// NoBatch restores the reference one-feature-at-a-time split scan
+	// instead of the grouped scan. The grown tree is bit-identical either
+	// way; the flag exists so benchmarks and equivalence tests can compare
+	// against the pre-optimization baseline.
+	NoBatch bool
 }
 
 func (o Options) minLeaf() int {
@@ -43,18 +58,24 @@ func (o Options) maxSplits() int {
 	return o.MaxSplits
 }
 
-// node is one tree node; leaves carry a prediction value.
-type node struct {
-	feature     int
-	threshold   float64
-	left, right int32
-	value       float64
-	leaf        bool
-}
+// leafMarker in the feature array distinguishes leaves from splits.
+const leafMarker = int32(-1)
 
-// Tree is a trained regression tree.
+// Tree is a trained regression tree. Nodes live in parallel flat arrays
+// (structure-of-arrays): feature[i] < 0 marks node i as a leaf whose value
+// is thresh[i]; otherwise thresh[i] is the split threshold on feature[i]
+// with children left[i]/right[i].
 type Tree struct {
-	nodes []node
+	feature []int32
+	thresh  []float64
+	left    []int32
+	right   []int32
+	// bins holds, for split nodes grown by a Builder, the histogram bin
+	// whose edge is the node's threshold — the key to evaluating the tree
+	// over pre-binned rows (AccumulateBinned). Nil for reloaded trees.
+	bins []uint8
+	// leaves caches the leaf count so NumLeaves is O(1).
+	leaves int
 	// gains accumulates the SSE reduction attributed to each feature's
 	// committed splits — the raw material of feature importance.
 	gains []float64
@@ -69,37 +90,111 @@ func (t *Tree) Gains() []float64 { return t.gains }
 func (t *Tree) Predict(x []float64) float64 {
 	i := int32(0)
 	for {
-		n := &t.nodes[i]
-		if n.leaf {
-			return n.value
+		f := t.feature[i]
+		if f < 0 {
+			return t.thresh[i]
 		}
-		if x[n.feature] <= n.threshold {
-			i = n.left
+		if x[f] <= t.thresh[i] {
+			i = t.left[i]
 		} else {
-			i = n.right
+			i = t.right[i]
+		}
+	}
+}
+
+// PredictBatch writes the prediction for every row of X into out
+// (len(out) must be at least len(X)). One tree's node arrays are streamed
+// over all rows before the caller moves to the next tree, so an ensemble
+// evaluates each small tree from cache instead of re-walking a cold tree
+// per row. Results are bit-identical to calling Predict per row.
+func (t *Tree) PredictBatch(X [][]float64, out []float64) {
+	feature, thresh, left, right := t.feature, t.thresh, t.left, t.right
+	for r, x := range X {
+		i := int32(0)
+		for {
+			f := feature[i]
+			if f < 0 {
+				out[r] = thresh[i]
+				break
+			}
+			if x[f] <= thresh[i] {
+				i = left[i]
+			} else {
+				i = right[i]
+			}
+		}
+	}
+}
+
+// AccumulateBatch adds scale × prediction to out[r] for every row of X —
+// the fused update boosting and forest averaging perform per tree
+// (out[r] += scale·Predict(X[r])), evaluated tree-at-a-time.
+func (t *Tree) AccumulateBatch(X [][]float64, scale float64, out []float64) {
+	feature, thresh, left, right := t.feature, t.thresh, t.left, t.right
+	for r, x := range X {
+		i := int32(0)
+		for {
+			f := feature[i]
+			if f < 0 {
+				out[r] += scale * thresh[i]
+				break
+			}
+			if x[f] <= thresh[i] {
+				i = left[i]
+			} else {
+				i = right[i]
+			}
+		}
+	}
+}
+
+// AccumulateBinned adds scale × prediction to out[r] for every encoded
+// row of bm — the boosting update evaluated over pre-binned data. Every
+// split threshold is a bin edge, so comparing uint8 bin codes reaches
+// exactly the leaf a float walk would: results are bit-identical to
+// AccumulateBatch over the original rows, but each node touches a byte
+// column that stays resident in cache instead of row-major float data.
+// Valid only for trees grown in-process by the Builder whose edges
+// encoded bm; trees reloaded via FromFlat carry no bin codes.
+func (t *Tree) AccumulateBinned(bm *BinMatrix, scale float64, out []float64) {
+	if len(t.bins) != len(t.feature) {
+		panic("tree: AccumulateBinned on a tree without bin codes (grown by another builder or reloaded)")
+	}
+	feature, bins, left, right, thresh := t.feature, t.bins, t.left, t.right, t.thresh
+	for r := 0; r < bm.n; r++ {
+		i := int32(0)
+		for {
+			f := feature[i]
+			if f < 0 {
+				out[r] += scale * thresh[i]
+				break
+			}
+			if bm.cols[f][r] <= bins[i] {
+				i = left[i]
+			} else {
+				i = right[i]
+			}
 		}
 	}
 }
 
 // NumNodes returns the total node count (splits + leaves).
-func (t *Tree) NumNodes() int { return len(t.nodes) }
+func (t *Tree) NumNodes() int { return len(t.feature) }
 
-// NumLeaves returns the leaf count.
-func (t *Tree) NumLeaves() int {
-	c := 0
-	for i := range t.nodes {
-		if t.nodes[i].leaf {
-			c++
-		}
-	}
-	return c
-}
+// NumLeaves returns the leaf count, maintained at build time (O(1)).
+func (t *Tree) NumLeaves() int { return t.leaves }
 
 // maxBins is the histogram resolution for split finding.
 const maxBins = 64
 
+// parallelScanMinWork is the rows×features product below which a split
+// scan stays serial: spawning goroutines costs more than the scan.
+const parallelScanMinWork = 1 << 14
+
 // Builder pre-bins a design matrix so many trees can be grown over
-// different targets and samples without re-sorting features.
+// different targets and samples without re-sorting features. A Builder is
+// safe for concurrent Grow calls once constructed: growth only reads the
+// binned matrix, and the attached counters are atomic.
 type Builder struct {
 	n, d        int
 	binned      [][]uint8   // [feature][row] -> bin index
@@ -115,8 +210,7 @@ type Builder struct {
 
 // Instrument makes every subsequent Grow count trees grown and splits
 // committed in reg ("tree.grown", "tree.splits"). A nil registry
-// detaches. Growing is single-threaded per Builder, but the counters are
-// shared safely with any other registry user.
+// detaches. The counters are shared safely with any other registry user.
 func (b *Builder) Instrument(reg *obs.Registry) {
 	b.grown = reg.Counter("tree.grown")
 	b.splits = reg.Counter("tree.splits")
@@ -167,6 +261,40 @@ func NewBuilder(X [][]float64) *Builder {
 // N returns the number of rows the builder was constructed with.
 func (b *Builder) N() int { return b.n }
 
+// BinMatrix is a set of rows pre-encoded into a Builder's histogram bins,
+// one uint8 column per feature. Trees grown by that builder can be
+// evaluated over a BinMatrix with byte compares (Tree.AccumulateBinned)
+// instead of float compares over row-major data — the representation the
+// boosting inner loop streams every round.
+type BinMatrix struct {
+	cols [][]uint8 // [feature][row] -> bin index
+	n    int
+}
+
+// Len returns the number of encoded rows.
+func (bm *BinMatrix) Len() int { return bm.n }
+
+// Bin encodes rows of X (same feature width as the builder's matrix) into
+// the builder's bins. A value lands in bin k when it is <= the bin's
+// inclusive upper edge, exactly the builder's own binning rule, so
+// x[f] <= thresh holds iff the encoded value is <= the threshold's bin.
+func (b *Builder) Bin(X [][]float64) *BinMatrix {
+	bm := &BinMatrix{n: len(X), cols: make([][]uint8, b.d)}
+	for f := 0; f < b.d; f++ {
+		edges := b.edges[f]
+		col := make([]uint8, len(X))
+		for i, row := range X {
+			col[i] = uint8(sort.SearchFloat64s(edges, row[f]))
+		}
+		bm.cols[f] = col
+	}
+	return bm
+}
+
+// Binned returns the builder's own pre-binned training matrix as a
+// BinMatrix. The storage is shared with the builder, not copied.
+func (b *Builder) Binned() *BinMatrix { return &BinMatrix{cols: b.binned, n: b.n} }
+
 // Grow fits a regression tree to targets y (len = builder rows) over the
 // sample idx (row indices, possibly with repeats for a bootstrap sample).
 // rng drives feature subsampling and may be nil when FeatureFrac >= 1.
@@ -174,7 +302,7 @@ func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tre
 	b.grown.Inc()
 	t := &Tree{}
 	if len(idx) == 0 {
-		t.nodes = []node{{leaf: true}}
+		t.addLeaf(0)
 		return t
 	}
 	root := t.addLeaf(meanAt(y, idx))
@@ -212,17 +340,31 @@ func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tre
 		}
 		t.gains[f] += lr.gain
 		thresh := b.edges[f][bin]
-		var li, ri []int
+		// Stable partition into one exact-size allocation: append-grown
+		// slices would reallocate ~log2(n) times per split, and this loop
+		// runs once per tree node across thousands of boosted trees.
+		col, ub := b.binned[f], uint8(bin)
+		nL := 0
 		for _, i := range lr.idx {
-			if b.binned[f][i] <= uint8(bin) {
-				li = append(li, i)
+			if col[i] <= ub {
+				nL++
+			}
+		}
+		mem := make([]int, len(lr.idx))
+		li, ri := mem[:nL:nL], mem[nL:]
+		lp, rp := 0, 0
+		for _, i := range lr.idx {
+			if col[i] <= ub {
+				li[lp] = i
+				lp++
 			} else {
-				ri = append(ri, i)
+				ri[rp] = i
+				rp++
 			}
 		}
 		ln := t.addLeaf(meanAt(y, li))
 		rn := t.addLeaf(meanAt(y, ri))
-		t.nodes[lr.node] = node{feature: f, threshold: thresh, left: ln, right: rn}
+		t.setSplit(lr.node, f, thresh, uint8(bin), ln, rn)
 
 		leftRec := &leafRec{node: ln, idx: li}
 		rightRec := &leafRec{node: rn, idx: ri}
@@ -235,8 +377,24 @@ func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tre
 }
 
 func (t *Tree) addLeaf(v float64) int32 {
-	t.nodes = append(t.nodes, node{leaf: true, value: v})
-	return int32(len(t.nodes) - 1)
+	t.feature = append(t.feature, leafMarker)
+	t.thresh = append(t.thresh, v)
+	t.left = append(t.left, 0)
+	t.right = append(t.right, 0)
+	t.bins = append(t.bins, 0)
+	t.leaves++
+	return int32(len(t.feature) - 1)
+}
+
+// setSplit converts leaf n into an internal split node whose threshold is
+// the upper edge of histogram bin.
+func (t *Tree) setSplit(n int32, f int, thresh float64, bin uint8, ln, rn int32) {
+	t.feature[n] = int32(f)
+	t.thresh[n] = thresh
+	t.bins[n] = bin
+	t.left[n] = ln
+	t.right[n] = rn
+	t.leaves--
 }
 
 func meanAt(y []float64, idx []int) float64 {
@@ -262,11 +420,6 @@ func (b *Builder) bestSplit(y []float64, idx []int, opt Options, rng *rand.Rand)
 	for _, i := range idx {
 		sumTot += y[i]
 	}
-	baseScore := sumTot * sumTot / float64(nTot)
-
-	var cnt [maxBins]int
-	var sum [maxBins]float64
-	feature, bin = -1, -1
 
 	// Feature subsampling draws a non-empty subset per split (random
 	// forests); mtry = max(1, frac·d).
@@ -279,7 +432,42 @@ func (b *Builder) bestSplit(y []float64, idx []int, opt Options, rng *rand.Rand)
 		feats = rng.Perm(b.d)[:mtry]
 	}
 
-	for _, f := range feats {
+	workers := opt.Workers
+	if workers > len(feats) {
+		workers = len(feats)
+	}
+	var pos int
+	if workers > 1 && nTot*len(feats) >= parallelScanMinWork {
+		gain, pos, bin = b.scanFeaturesParallel(y, idx, feats, sumTot, nTot, opt.minLeaf(), workers, !opt.NoBatch)
+	} else {
+		gain, pos, bin = b.scanFeatures(y, idx, feats, sumTot, nTot, opt.minLeaf(), !opt.NoBatch)
+	}
+	if pos < 0 || math.IsNaN(gain) || gain <= 1e-12 {
+		return 0, -1, -1
+	}
+	return gain, feats[pos], bin
+}
+
+// groupScanMinRows is the node size at which the split scan switches to
+// the grouped accumulation (scanFeaturesGrouped); below it, the plain
+// one-feature-at-a-time pass is at least as fast. Both paths return
+// bit-identical results, so the threshold is purely a speed knob.
+const groupScanMinRows = 256
+
+// scanFeatures finds the best split over feats, returning the winning
+// position within feats (-1 if none). Ties keep the earliest position —
+// the first-maximum rule the parallel merge must reproduce. grouped
+// selects the batched accumulation for large nodes (false = the reference
+// scan; both are bit-identical).
+func (b *Builder) scanFeatures(y []float64, idx []int, feats []int, sumTot float64, nTot, minLeaf int, grouped bool) (gain float64, pos, bin int) {
+	if grouped && len(idx) >= groupScanMinRows && len(feats) >= 2 {
+		return b.scanFeaturesGrouped(y, idx, feats, sumTot, nTot, minLeaf)
+	}
+	baseScore := sumTot * sumTot / float64(nTot)
+	var cnt [maxBins]int
+	var sum [maxBins]float64
+	pos, bin = -1, -1
+	for fi, f := range feats {
 		if len(b.edges[f]) == 0 {
 			continue // constant feature
 		}
@@ -298,18 +486,131 @@ func (b *Builder) bestSplit(y []float64, idx []int, opt Options, rng *rand.Rand)
 			nL += cnt[k]
 			sL += sum[k]
 			nR := nTot - nL
-			if nL < opt.minLeaf() || nR < opt.minLeaf() {
+			if nL < minLeaf || nR < minLeaf {
 				continue
 			}
 			sR := sumTot - sL
 			score := sL*sL/float64(nL) + sR*sR/float64(nR)
 			if g := score - baseScore; g > gain {
-				gain, feature, bin = g, f, k
+				gain, pos, bin = g, fi, k
 			}
 		}
 	}
-	if math.IsNaN(gain) || gain <= 1e-12 {
-		return 0, -1, -1
+	return gain, pos, bin
+}
+
+// scanFeaturesGrouped is the batched split scan: features are processed
+// four at a time, so one pass over the node's sample feeds four
+// independent histograms — the row index and target are loaded once per
+// row instead of once per feature, and the four floating-point
+// accumulation chains are independent. Per (feature, bin) the additions
+// happen in idx order exactly as in the plain scan, and features are
+// evaluated in the same ascending order, so results are bit-identical.
+func (b *Builder) scanFeaturesGrouped(y []float64, idx []int, feats []int, sumTot float64, nTot, minLeaf int) (gain float64, pos, bin int) {
+	baseScore := sumTot * sumTot / float64(nTot)
+	var cnt [4][maxBins]int32
+	var sum [4][maxBins]float64
+	pos, bin = -1, -1
+	for g := 0; g < len(feats); g += 4 {
+		gw := len(feats) - g
+		if gw > 4 {
+			gw = 4
+		}
+		for w := 0; w < gw; w++ {
+			nb := len(b.edges[feats[g+w]]) + 1
+			for k := 0; k < nb; k++ {
+				cnt[w][k], sum[w][k] = 0, 0
+			}
+		}
+		if gw == 4 {
+			c0, c1, c2, c3 := b.binned[feats[g]], b.binned[feats[g+1]], b.binned[feats[g+2]], b.binned[feats[g+3]]
+			for _, i := range idx {
+				yi := y[i]
+				k0 := c0[i]
+				cnt[0][k0]++
+				sum[0][k0] += yi
+				k1 := c1[i]
+				cnt[1][k1]++
+				sum[1][k1] += yi
+				k2 := c2[i]
+				cnt[2][k2]++
+				sum[2][k2] += yi
+				k3 := c3[i]
+				cnt[3][k3]++
+				sum[3][k3] += yi
+			}
+		} else {
+			for w := 0; w < gw; w++ {
+				col := b.binned[feats[g+w]]
+				hc, hs := &cnt[w], &sum[w]
+				for _, i := range idx {
+					k := col[i]
+					hc[k]++
+					hs[k] += y[i]
+				}
+			}
+		}
+		for w := 0; w < gw; w++ {
+			fi := g + w
+			edges := b.edges[feats[fi]]
+			if len(edges) == 0 {
+				continue // constant feature
+			}
+			nb := len(edges) + 1
+			nL, sL := 0, 0.0
+			for k := 0; k < nb-1; k++ { // split at edge k: bins <= k go left
+				nL += int(cnt[w][k])
+				sL += sum[w][k]
+				nR := nTot - nL
+				if nL < minLeaf || nR < minLeaf {
+					continue
+				}
+				sR := sumTot - sL
+				score := sL*sL/float64(nL) + sR*sR/float64(nR)
+				if gn := score - baseScore; gn > gain {
+					gain, pos, bin = gn, fi, k
+				}
+			}
+		}
 	}
-	return gain, feature, bin
+	return gain, pos, bin
+}
+
+// scanFeaturesParallel splits feats into contiguous chunks scanned
+// concurrently and merges the chunk winners in order with a strict
+// greater-than rule — together with the in-chunk first-maximum rule this
+// reproduces the serial scan's result exactly.
+func (b *Builder) scanFeaturesParallel(y []float64, idx []int, feats []int, sumTot float64, nTot, minLeaf, workers int, grouped bool) (gain float64, pos, bin int) {
+	type chunkBest struct {
+		gain float64
+		pos  int
+		bin  int
+	}
+	results := make([]chunkBest, workers)
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		lo := c * len(feats) / workers
+		hi := (c + 1) * len(feats) / workers
+		if lo == hi {
+			results[c] = chunkBest{pos: -1, bin: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			g, p, bn := b.scanFeatures(y, idx, feats[lo:hi], sumTot, nTot, minLeaf, grouped)
+			if p >= 0 {
+				p += lo
+			}
+			results[c] = chunkBest{gain: g, pos: p, bin: bn}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	gain, pos, bin = 0, -1, -1
+	for _, r := range results {
+		if r.pos >= 0 && r.gain > gain {
+			gain, pos, bin = r.gain, r.pos, r.bin
+		}
+	}
+	return gain, pos, bin
 }
