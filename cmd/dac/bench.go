@@ -9,11 +9,14 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/conf"
 	"repro/internal/ga"
 	"repro/internal/hm"
 	"repro/internal/model"
 	"repro/internal/rf"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
 )
 
 // benchResult is one serial-versus-optimized measurement pair.
@@ -112,9 +115,11 @@ func cmdBench(args []string) error {
 	// 100 generations); -quick shrinks everything to CI scale.
 	hmTrees, modelTrees, modelWindow := 600, 3600, 4000
 	popSize, generations, rfTrees, probeRows := 100, 100, 100, 512
+	nSpecs := 600
 	if *quick {
 		hmTrees, modelTrees, modelWindow = 80, 240, 600
 		popSize, generations, rfTrees, probeRows = 40, 15, 30, 128
+		nSpecs = 150
 	}
 
 	rep := benchReport{
@@ -201,6 +206,33 @@ func cmdBench(args []string) error {
 				if _, err := rf.Train(rfDS, rf.Options{Trees: rfTrees, Seed: 1}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}))
+
+	w, err := workloads.ByAbbr("WC")
+	if err != nil {
+		return err
+	}
+	sim := sparksim.New(cluster.Standard(), 1)
+	specs := make([]sparksim.RunSpec, nSpecs)
+	specRng := rand.New(rand.NewSource(4))
+	for i := range specs {
+		specs[i] = sparksim.RunSpec{
+			Cfg:     space.Random(specRng),
+			InputMB: 512 + 4096*specRng.Float64(),
+		}
+	}
+	rep.Results = append(rep.Results, runPair("collect_batch",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, s := range specs {
+					sim.Run(&w.Program, s.InputMB, s.Cfg)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.RunBatch(&w.Program, specs)
 			}
 		}))
 

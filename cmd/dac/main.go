@@ -159,9 +159,9 @@ func newTuner(w *workloads.Workload, ntrain int, seed int64, reg *obs.Registry) 
 	sim.Instrument(reg)
 	return &core.Tuner{
 		Space: conf.StandardSpace(),
-		Exec: core.ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
-			return sim.Run(&w.Program, dsizeMB, cfg).TotalSec
-		}),
+		// The batch executor lets the collector hand each worker's chunk
+		// to one sparksim.RunBatch call (bit-identical to per-job runs).
+		Exec: core.NewSimExecutor(sim, &w.Program),
 		Opt: core.Options{
 			NTrain: ntrain,
 			HM:     hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5},

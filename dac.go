@@ -80,6 +80,11 @@ type (
 	Executor = core.Executor
 	// ExecutorFunc adapts a plain function to Executor.
 	ExecutorFunc = core.ExecutorFunc
+	// BatchExecutor is an Executor that runs a whole chunk of collecting
+	// jobs in one call; the collector prefers it when available.
+	BatchExecutor = core.BatchExecutor
+	// SimExecutor is the simulator-backed BatchExecutor.
+	SimExecutor = core.SimExecutor
 	// Model predicts execution time from configuration + datasize.
 	Model = model.Model
 	// Trainer fits a Model to collected data.
@@ -121,11 +126,11 @@ func WorkloadByAbbr(abbr string) (*Workload, error) { return workloads.ByAbbr(ab
 func NewSimulator(cl Cluster, seed int64) *Simulator { return sparksim.New(cl, seed) }
 
 // NewSimExecutor adapts a simulator and a program to the Executor
-// interface the tuning pipeline consumes.
-func NewSimExecutor(sim *Simulator, p *Program) Executor {
-	return ExecutorFunc(func(cfg Config, dsizeMB float64) float64 {
-		return sim.Run(p, dsizeMB, cfg).TotalSec
-	})
+// interface the tuning pipeline consumes. The returned executor also
+// implements BatchExecutor, so the collector batches each worker's chunk
+// through one sparksim.RunBatch call.
+func NewSimExecutor(sim *Simulator, p *Program) *SimExecutor {
+	return core.NewSimExecutor(sim, p)
 }
 
 // NewTuner wires a DAC tuner for workload w simulated on cl. The seed

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/obs"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// collectCSV runs one small Collect with the given executor and returns the
+// resulting training set serialized as CSV.
+func collectCSV(t *testing.T, exec Executor, reg *obs.Registry) []byte {
+	t.Helper()
+	tuner := &Tuner{
+		Space: conf.StandardSpace(),
+		Exec:  exec,
+		Opt:   Options{NTrain: 200, Seed: 1},
+		Obs:   reg,
+	}
+	set, _, err := tuner.Collect(tuner.TrainingSizesMB(10*1024, 50*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCollectBatchByteIdenticalCSV pins the acceptance contract of the
+// batched collecting path: the CSV written from a batched collect must be
+// byte-identical to the serial per-job executor's, at GOMAXPROCS 1 and 4
+// alike, and the batch path must actually be exercised (counted under
+// "core.collect.batches").
+func TestCollectBatchByteIdenticalCSV(t *testing.T) {
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sparksim.New(cluster.Standard(), 8)
+	serial := ExecutorFunc(func(cfg conf.Config, dsizeMB float64) float64 {
+		return sim.Run(&w.Program, dsizeMB, cfg).TotalSec
+	})
+	ref := collectCSV(t, serial, nil)
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		serialCSV := collectCSV(t, serial, nil)
+		reg := obs.NewRegistry()
+		batchCSV := collectCSV(t, NewSimExecutor(sim, &w.Program), reg)
+		runtime.GOMAXPROCS(prev)
+		if !bytes.Equal(serialCSV, ref) {
+			t.Fatalf("GOMAXPROCS=%d: serial collect CSV is not reproducible", procs)
+		}
+		if !bytes.Equal(batchCSV, ref) {
+			t.Fatalf("GOMAXPROCS=%d: batched collect CSV differs from the serial path", procs)
+		}
+		if reg.Counter("core.collect.batches").Value() == 0 {
+			t.Errorf("GOMAXPROCS=%d: SimExecutor collect never took the batch path", procs)
+		}
+	}
+}
+
+// TestSimExecutorBatchMatchesExecute pins the BatchExecutor contract on the
+// simulator binding: ExecuteBatch must return, per job in job order, the
+// exact time Execute returns for that job.
+func TestSimExecutorBatchMatchesExecute(t *testing.T) {
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sparksim.New(cluster.Standard(), 8)
+	exec := NewSimExecutor(sim, &w.Program)
+	space := conf.StandardSpace()
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = Job{Cfg: space.Random(rng), DsizeMB: 1024 * (1 + 49*rng.Float64())}
+	}
+	times := exec.ExecuteBatch(jobs)
+	if len(times) != len(jobs) {
+		t.Fatalf("ExecuteBatch returned %d times for %d jobs", len(times), len(jobs))
+	}
+	for i, j := range jobs {
+		if got := exec.Execute(j.Cfg, j.DsizeMB); got != times[i] {
+			t.Fatalf("job %d: Execute=%v ExecuteBatch=%v", i, got, times[i])
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+// SimExecutor runs program-input pairs on the cluster simulator — the
+// Executor the facade and the commands wire into the pipeline. It
+// implements BatchExecutor: a chunk of collecting jobs becomes one
+// sparksim.RunBatch call, so program validation and the per-run scratch
+// buffers are paid once per chunk instead of once per run. Both paths
+// report identical times (RunBatch's bit-identity contract), so the
+// collector may pick either without changing any result.
+type SimExecutor struct {
+	Sim  *sparksim.Simulator
+	Prog *sparksim.Program
+}
+
+// NewSimExecutor adapts a simulator and a program to the collecting
+// pipeline's executor interfaces.
+func NewSimExecutor(sim *sparksim.Simulator, p *sparksim.Program) *SimExecutor {
+	return &SimExecutor{Sim: sim, Prog: p}
+}
+
+// Execute implements Executor: one simulated run.
+func (e *SimExecutor) Execute(cfg conf.Config, dsizeMB float64) float64 {
+	return e.Sim.Run(e.Prog, dsizeMB, cfg).TotalSec
+}
+
+// ExecuteBatch implements BatchExecutor: one RunBatch over the chunk.
+func (e *SimExecutor) ExecuteBatch(jobs []Job) []float64 {
+	pairs := make([]sparksim.RunSpec, len(jobs))
+	for i, j := range jobs {
+		pairs[i] = sparksim.RunSpec{Cfg: j.Cfg, InputMB: j.DsizeMB}
+	}
+	res := e.Sim.RunBatch(e.Prog, pairs)
+	out := make([]float64, len(res))
+	for i, r := range res {
+		out[i] = r.TotalSec
+	}
+	return out
+}

@@ -16,8 +16,11 @@ import (
 // collect gathers n performance vectors for workload w: random
 // configurations over ten dataset sizes spanning slightly beyond the
 // Table 1 range (so the model interpolates rather than extrapolates at
-// the evaluation sizes). Runs execute concurrently but the collected set
-// is deterministic in (simSeed, seed).
+// the evaluation sizes). Each worker runs one contiguous chunk of the
+// jobs as a single sparksim.RunBatch call — per-run scratch amortized
+// across the chunk, no goroutine-per-job spawn — and results land by
+// position, so the collected set is deterministic in (simSeed, seed)
+// and byte-identical at any GOMAXPROCS.
 func collect(sc Scale, w *workloads.Workload, n int, simSeed, seed int64) *dataset.Set {
 	sp := sc.Obs.StartSpan("experiments.collect")
 	defer sp.End()
@@ -28,31 +31,35 @@ func collect(sc Scale, w *workloads.Workload, n int, simSeed, seed int64) *datas
 	rng := rand.New(rand.NewSource(seed))
 
 	sizes := trainingSizes(w)
-	type job struct {
-		cfg conf.Config
-		mb  float64
-	}
-	jobs := make([]job, n)
-	for i := range jobs {
-		jobs[i] = job{cfg: space.Random(rng), mb: sizes[i%len(sizes)]}
+	pairs := make([]sparksim.RunSpec, n)
+	for i := range pairs {
+		pairs[i] = sparksim.RunSpec{Cfg: space.Random(rng), InputMB: sizes[i%len(sizes)]}
 	}
 	times := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range jobs {
+	for c := 0; c < workers; c++ {
+		lo, hi := c*n/workers, (c+1)*n/workers
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			times[i] = sim.Run(&w.Program, jobs[i].mb, jobs[i].cfg).TotalSec
-		}(i)
+			for i, r := range sim.RunBatch(&w.Program, pairs[lo:hi]) {
+				times[lo+i] = r.TotalSec
+			}
+		}(lo, hi)
 	}
 	wg.Wait()
+	sc.Obs.Counter("experiments.collect.batches").Add(int64(workers))
 
 	set := dataset.NewSet(space)
-	for i, j := range jobs {
-		set.Add(j.cfg, j.mb, times[i])
+	for i, p := range pairs {
+		set.Add(p.Cfg, p.InputMB, times[i])
 	}
 	return set
 }

@@ -144,6 +144,13 @@ type Model struct {
 	subs  []*firstOrder
 	coefs []float64
 	log   bool
+	// edges, when non-nil, are the training Builder's per-feature
+	// histogram bin edges. Together with the trees' bin codes they keep
+	// the binned training path available after Save/Load: Resume encodes
+	// new rows against them (tree.BinWithEdges) instead of requiring the
+	// original Builder. Nil for models loaded from legacy (v1) snapshots
+	// and for models whose binned form was invalidated (see Resume).
+	edges [][]float64
 	// Order is the hierarchical order reached (1 = first-order).
 	Order int
 	// ValErr is the mean Eq. 2 validation error at the end of training.
@@ -220,10 +227,17 @@ func Train(ds *model.Dataset, opt Options) (*Model, error) {
 
 	// Speculative concurrent fits: when the blend needs order k, the
 	// fits for orders 2..k were already running while order 1 was
-	// evaluated. The abort flag reclaims the rare over-speculated fit.
+	// evaluated. The abort flag reclaims the rare over-speculated fit —
+	// but with a single scheduler core there is no idle parallelism to
+	// win: the speculated fits time-slice against the fit that is
+	// actually needed, so in the common case where the first candidate
+	// already meets TargetAccuracy a full fit's worth of work has been
+	// burned on the same core and thrown away. So speculation
+	// additionally requires real parallelism (GOMAXPROCS > 1); otherwise
+	// candidates fit strictly one at a time, on demand.
 	var abort atomic.Bool
 	var pending []chan *firstOrder
-	if opt.workers() > 1 && opt.MaxOrder > 1 {
+	if opt.workers() > 1 && opt.MaxOrder > 1 && runtime.GOMAXPROCS(0) > 1 {
 		pending = make([]chan *firstOrder, opt.MaxOrder)
 		for k := range pending {
 			k := k
@@ -235,7 +249,9 @@ func Train(ds *model.Dataset, opt Options) (*Model, error) {
 		}
 	}
 
-	m := &Model{log: !opt.NoLogTarget, Order: 1}
+	// The builder's bin edges travel with the model (and its snapshot)
+	// so training can resume — binned — after Save/Load.
+	m := &Model{log: !opt.NoLogTarget, Order: 1, edges: tr.builder.Edges()}
 	// Algorithm 1 main loop: build first-order models until the target
 	// accuracy is met or the order budget is exhausted.
 	for order := 1; ; order++ {
@@ -320,6 +336,19 @@ func (t *trainer) firstOrderProcedure(rng *rand.Rand, abort *atomic.Bool) *first
 	for i := range valPred {
 		valPred[i] = fo.base
 	}
+	t.boost(fo, pred, valPred, t.opt.Trees, rng, abort)
+	return fo
+}
+
+// boost runs up to budget stochastic-gradient-boosting rounds on fo,
+// appending to fo.trees and advancing pred/valPred (fo's current fit-
+// space predictions over the train and validation splits) in place. It
+// stops early on target accuracy, convergence, or abort — the exact
+// loop FirstOrderProcedure has always run, factored out so Resume can
+// continue a persisted sub-model's trajectory from replayed predictions.
+// Returns the number of trees grown.
+func (t *trainer) boost(fo *firstOrder, pred, valPred []float64, budget int, rng *rand.Rand, abort *atomic.Bool) int {
+	n := t.train.Len()
 	resid := make([]float64, n)
 	gOpt := tree.Options{
 		MaxSplits: t.opt.TreeComplexity,
@@ -328,10 +357,11 @@ func (t *trainer) firstOrderProcedure(rng *rand.Rand, abort *atomic.Bool) *first
 		NoBatch:   t.opt.NoBatch,
 	}
 
+	grown := 0
 	bestErr := math.Inf(1)
 	sinceBest := 0
 	const checkEvery = 10
-	for k := 0; k < t.opt.Trees; k++ {
+	for k := 0; k < budget; k++ {
 		if abort != nil && abort.Load() {
 			break
 		}
@@ -341,6 +371,7 @@ func (t *trainer) firstOrderProcedure(rng *rand.Rand, abort *atomic.Bool) *first
 		idx := model.Bootstrap(n, rng)
 		tr := t.builder.Grow(resid, idx, gOpt, rng)
 		fo.trees = append(fo.trees, tr)
+		grown++
 		if t.opt.NoBatch {
 			for i, x := range t.train.Features {
 				pred[i] += fo.lr * tr.Predict(x)
@@ -365,8 +396,8 @@ func (t *trainer) firstOrderProcedure(rng *rand.Rand, abort *atomic.Bool) *first
 			}
 		}
 	}
-	t.opt.Obs.Counter("hm.boost.rounds").Add(int64(len(fo.trees)))
-	return fo
+	t.opt.Obs.Counter("hm.boost.rounds").Add(int64(grown))
+	return grown
 }
 
 // subPredictions fills out with s's fit-space predictions over X, via the

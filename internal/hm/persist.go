@@ -14,6 +14,13 @@ import (
 // exported snapshot of the model.
 
 // snapshot is the serialized form of a Model.
+//
+// Version 2 added BinEdges and HasBins — the training Builder's histogram
+// edges plus a flag that the trees' per-split bin codes are valid — so a
+// reloaded model can continue binned training (Resume) instead of
+// panicking in AccumulateBinned. The schema stays backward compatible:
+// gob decodes a version-1 stream into the same struct with the new fields
+// zero, and Load then simply rebuilds the model without codes.
 type snapshot struct {
 	Version int
 	Log     bool
@@ -21,6 +28,15 @@ type snapshot struct {
 	ValErr  float64
 	Coefs   []float64
 	Subs    []snapshotFO
+
+	// BinEdges are the per-feature histogram bin edges of the training
+	// Builder (version ≥ 2; nil in legacy streams).
+	BinEdges [][]float64
+	// HasBins records that every persisted tree node carries a valid Bin
+	// code. Validity must be signaled here rather than per node: a
+	// version-1 stream decodes every FlatNode.Bin as zero, which is
+	// indistinguishable from a genuine bin 0.
+	HasBins bool
 }
 
 type snapshotFO struct {
@@ -29,16 +45,18 @@ type snapshotFO struct {
 	Trees [][]tree.FlatNode
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save writes the model to w.
 func (m *Model) Save(w io.Writer) error {
 	s := snapshot{
-		Version: snapshotVersion,
-		Log:     m.log,
-		Order:   m.Order,
-		ValErr:  m.ValErr,
-		Coefs:   m.coefs,
+		Version:  snapshotVersion,
+		Log:      m.log,
+		Order:    m.Order,
+		ValErr:   m.ValErr,
+		Coefs:    m.coefs,
+		BinEdges: m.edges,
+		HasBins:  m.edges != nil && m.hasBinCodes(),
 	}
 	for _, fo := range m.subs {
 		sf := snapshotFO{Base: fo.base, LR: fo.lr, Trees: make([][]tree.FlatNode, len(fo.trees))}
@@ -53,24 +71,51 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a model previously written by Save. Feature-importance
-// metadata is not persisted; everything needed for prediction is.
+// hasBinCodes reports whether every tree of the model carries bin codes.
+func (m *Model) hasBinCodes() bool {
+	for _, fo := range m.subs {
+		for _, t := range fo.trees {
+			if !t.HasBinCodes() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Load reads a model previously written by Save, accepting any schema
+// version up to the current one. Version-2 snapshots restore the bin
+// edges and codes, so the loaded model supports binned training
+// continuation (Resume) exactly like the never-persisted model; version-1
+// snapshots reload without codes and Resume falls back to the
+// (bit-identical) float evaluation path. Feature-importance metadata is
+// not persisted; everything needed for prediction is.
 func Load(r io.Reader) (*Model, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("hm: loading model: %w", err)
 	}
-	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("hm: model snapshot version %d, want %d", s.Version, snapshotVersion)
+	if s.Version < 1 || s.Version > snapshotVersion {
+		return nil, fmt.Errorf("hm: model snapshot version %d, want 1..%d", s.Version, snapshotVersion)
 	}
 	if len(s.Subs) == 0 || len(s.Coefs) != len(s.Subs) {
 		return nil, fmt.Errorf("hm: malformed snapshot: %d sub-models, %d coefficients", len(s.Subs), len(s.Coefs))
 	}
+	withCodes := s.HasBins && len(s.BinEdges) > 0
 	m := &Model{log: s.Log, Order: s.Order, ValErr: s.ValErr, coefs: s.Coefs}
+	if withCodes {
+		m.edges = s.BinEdges
+	}
 	for _, sf := range s.Subs {
 		fo := &firstOrder{base: sf.Base, lr: sf.LR}
 		for _, nodes := range sf.Trees {
-			t, err := tree.FromFlat(nodes)
+			var t *tree.Tree
+			var err error
+			if withCodes {
+				t, err = tree.FromFlatWithCodes(nodes)
+			} else {
+				t, err = tree.FromFlat(nodes)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("hm: %w", err)
 			}

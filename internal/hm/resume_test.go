@@ -1,0 +1,161 @@
+package hm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tree"
+)
+
+// TestResumeAfterSaveLoadBitIdentical pins the persistence side of binned
+// training continuation: Train → Save → Load → Resume must leave the exact
+// model that Train → Resume leaves, with the reloaded model replaying its
+// trees through the binned fast path (version-2 snapshots carry the edges
+// and codes).
+func TestResumeAfterSaveLoadBitIdentical(t *testing.T) {
+	ds := synthDS(600, 91)
+	opt := Options{Trees: 120, LearningRate: 0.1, TreeComplexity: 5, Seed: 7}
+	fresh, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	optR := opt
+	optR.Obs = reg
+	if err := Resume(fresh, ds, opt, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(loaded, ds, optR, 40); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("hm.resume.binned.trees").Value() == 0 {
+		t.Error("reloaded v2 model did not replay through the binned path")
+	}
+	if fresh.NumTrees() != loaded.NumTrees() {
+		t.Fatalf("tree counts diverged: %d vs %d", fresh.NumTrees(), loaded.NumTrees())
+	}
+	if fresh.ValErr != loaded.ValErr {
+		t.Fatalf("ValErr diverged: %v vs %v", fresh.ValErr, loaded.ValErr)
+	}
+	probe := synthDS(150, 92)
+	for i, x := range probe.Features {
+		if a, b := fresh.Predict(x), loaded.Predict(x); a != b {
+			t.Fatalf("probe %d: never-persisted resume %v != save/load resume %v", i, a, b)
+		}
+	}
+}
+
+// TestResumeLegacyV1Snapshot pins backward compatibility: a version-1
+// stream (no bin edges, no codes — gob omits the zero-valued new fields,
+// so this encodes exactly what the old schema wrote) must load, and
+// Resume must continue it through the float replay path to the same model
+// the binned path produces.
+func TestResumeLegacyV1Snapshot(t *testing.T) {
+	ds := synthDS(600, 93)
+	opt := Options{Trees: 100, LearningRate: 0.1, TreeComplexity: 5, Seed: 11}
+	m, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snapshot{Version: 1, Log: m.log, Order: m.Order, ValErr: m.ValErr, Coefs: m.coefs}
+	for _, fo := range m.subs {
+		sf := snapshotFO{Base: fo.base, LR: fo.lr, Trees: make([][]tree.FlatNode, len(fo.trees))}
+		for i, tr := range fo.trees {
+			sf.Trees[i] = tr.Flatten()
+		}
+		s.Subs = append(s.Subs, sf)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.edges != nil {
+		t.Fatal("legacy snapshot should reload without edges")
+	}
+	if err := Resume(m, ds, opt, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(legacy, ds, opt, 30); err != nil {
+		t.Fatal(err)
+	}
+	probe := synthDS(120, 94)
+	for i, x := range probe.Features {
+		if a, b := m.Predict(x), legacy.Predict(x); a != b {
+			t.Fatalf("probe %d: binned resume %v != legacy float resume %v", i, a, b)
+		}
+	}
+}
+
+// TestResumeBinnedMatchesFloatReplay pins the replay paths against each
+// other on one model: NoBatch forces the float walk, which must leave a
+// model bit-identical to the binned replay.
+func TestResumeBinnedMatchesFloatReplay(t *testing.T) {
+	ds := synthDS(500, 95)
+	opt := Options{Trees: 80, LearningRate: 0.1, TreeComplexity: 5, Seed: 13}
+	a, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optF := opt
+	optF.NoBatch = true
+	if err := Resume(a, ds, opt, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(b, ds, optF, 25); err != nil {
+		t.Fatal(err)
+	}
+	probe := synthDS(100, 96)
+	for i, x := range probe.Features {
+		if pa, pb := a.Predict(x), b.Predict(x); pa != pb {
+			t.Fatalf("probe %d: binned %v != float %v", i, pa, pb)
+		}
+	}
+}
+
+// TestResumeRejectsBadInput covers the resume guard rails.
+func TestResumeRejectsBadInput(t *testing.T) {
+	ds := synthDS(400, 97)
+	m, err := Train(ds, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(&Model{}, ds, quickOpt(), 10); err == nil {
+		t.Error("resume on an empty model should fail")
+	}
+	if err := Resume(m, ds, quickOpt(), 0); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if err := Resume(m, synthDS(5, 98), quickOpt(), 10); err == nil {
+		t.Error("tiny dataset should fail")
+	}
+}
+
+// TestLoadRejectsFutureVersion pins the schema gate.
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshot{Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("snapshot from a future schema version should be rejected")
+	}
+}

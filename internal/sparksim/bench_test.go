@@ -38,6 +38,29 @@ func BenchmarkRunRandomConfigs(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectBatch compares the collecting hot loop's two shapes
+// over one chunk of (configuration, size) pairs: per-run Run calls versus
+// a single RunBatch reusing the scratch across the chunk.
+func BenchmarkCollectBatch(b *testing.B) {
+	sim := New(cluster.Standard(), 1)
+	p := testProgram()
+	pairs := randomPairs(64, 3)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range pairs {
+				sim.Run(p, s.InputMB, s.Cfg)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.RunBatch(p, pairs)
+		}
+	})
+}
+
 // BenchmarkRunManyTasks stresses the event loop with a wide stage.
 func BenchmarkRunManyTasks(b *testing.B) {
 	sim := New(cluster.Standard(), 1)

@@ -82,7 +82,16 @@ const reservedHeapMB = 300
 const deserExpansion = 2.5
 
 func newEnv(cl cluster.Cluster, cfg conf.Config, opt Options) *env {
-	e := &env{cl: cl, conf: cfg, opt: opt}
+	e := &env{}
+	e.init(cl, cfg, opt)
+	return e
+}
+
+// init derives the run environment in place. The receiver may have been
+// used by a previous run (batch scratch reuse), so every field is reset —
+// including the cache bookkeeping cacheAdd accumulates during a run.
+func (e *env) init(cl cluster.Cluster, cfg conf.Config, opt Options) {
+	*e = env{cl: cl, conf: cfg, opt: opt}
 
 	// --- Executor sizing -------------------------------------------------
 	cores := cfg.GetInt(conf.ExecutorCores)
@@ -184,7 +193,6 @@ func newEnv(cl cluster.Cluster, cfg conf.Config, opt Options) *env {
 		e.cachedExpansion = deserExpansion
 		e.cachedReadSecPerMB = 0
 	}
-	return e
 }
 
 // blockRatioAdjust nudges a codec's compression ratio for its block size:

@@ -1,8 +1,6 @@
 package sparksim
 
 import (
-	"container/heap"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -35,6 +33,63 @@ func New(cl cluster.Cluster, seed int64) *Simulator {
 	return &Simulator{Cluster: cl, Seed: seed}
 }
 
+// RunSpec is one (configuration, input size) pair of a RunBatch call.
+type RunSpec struct {
+	Cfg     conf.Config
+	InputMB float64
+}
+
+// runScratch holds the working buffers one simulated run needs — the
+// derived environment, the per-run RNG, the per-stage task durations, the
+// median working copy, and the event-loop slot heap. A batch reuses one
+// scratch across all of its runs, so the collecting hot loop allocates
+// only the Results it returns; every buffer is fully reinitialized per
+// use, which keeps scratch reuse invisible to the simulation.
+type runScratch struct {
+	env  env
+	rng  *rand.Rand
+	durs []float64
+	med  []float64
+	heap slotHeap
+}
+
+func newRunScratch() *runScratch {
+	return &runScratch{rng: rand.New(rand.NewSource(0))}
+}
+
+// durations returns a length-n slice for per-task durations; every
+// element is overwritten by the caller before use.
+func (sc *runScratch) durations(n int) []float64 {
+	if cap(sc.durs) < n {
+		sc.durs = make([]float64, n)
+	}
+	return sc.durs[:n]
+}
+
+// median returns the median of xs without modifying it, sorting a reused
+// working copy.
+func (sc *runScratch) median(xs []float64) float64 {
+	if cap(sc.med) < len(xs) {
+		sc.med = make([]float64, len(xs))
+	}
+	s := sc.med[:len(xs)]
+	copy(s, xs)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// slotClock returns a zeroed length-n slot heap.
+func (sc *runScratch) slotClock(n int) slotHeap {
+	if cap(sc.heap) < n {
+		sc.heap = make(slotHeap, n)
+	}
+	h := sc.heap[:n]
+	for i := range h {
+		h[i] = 0
+	}
+	return h
+}
+
 // Run simulates one execution of program p over inputMB megabytes of input
 // under configuration cfg and returns the timing breakdown. The result is
 // deterministic in (Seed, p.Name, inputMB, cfg).
@@ -42,12 +97,42 @@ func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result 
 	if err := p.Validate(); err != nil {
 		panic(err) // programs are compile-time constants in this module
 	}
+	return sim.runOne(p, inputMB, cfg, newRunScratch(), fnvString(p.Name))
+}
+
+// RunBatch simulates one execution per (cfg, input) pair and returns the
+// results in pair order. Every run is bit-identical to the corresponding
+// Run call — the per-run RNG seed derivation is unchanged, and each run
+// re-derives its environment from its own configuration — but the program
+// is validated once and the scratch buffers (task durations, slot heap,
+// median copy, environment struct, RNG state) are reused across the batch
+// instead of reallocated per run. Like Run, RunBatch is safe to call from
+// several goroutines at once; a single batch runs its pairs sequentially,
+// so callers parallelize by splitting work into several batches.
+func (sim *Simulator) RunBatch(p *Program, pairs []RunSpec) []*Result {
+	if err := p.Validate(); err != nil {
+		panic(err) // programs are compile-time constants in this module
+	}
+	sc := newRunScratch()
+	nameHash := fnvString(p.Name)
+	out := make([]*Result, len(pairs))
+	for i, pr := range pairs {
+		out[i] = sim.runOne(p, pr.InputMB, pr.Cfg, sc, nameHash)
+	}
+	return out
+}
+
+// runOne executes one simulated run against a caller-owned scratch.
+// nameHash is fnvString(p.Name), computed once per batch.
+func (sim *Simulator) runOne(p *Program, inputMB float64, cfg conf.Config, sc *runScratch, nameHash uint64) *Result {
 	var t0 time.Time
 	if sim.metrics != nil {
 		t0 = time.Now()
 	}
-	e := newEnv(sim.Cluster, cfg, sim.Opt)
-	rng := rand.New(rand.NewSource(sim.runSeed(p, inputMB, cfg)))
+	e := &sc.env
+	e.init(sim.Cluster, cfg, sim.Opt)
+	rng := sc.rng
+	rng.Seed(sim.runSeed(nameHash, inputMB, cfg))
 
 	res := &Result{
 		Executors: e.executors,
@@ -62,7 +147,7 @@ func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result 
 		sr := &res.Stages[i]
 		sr.Name = st.Name
 		for rep := 0; rep < st.Times(); rep++ {
-			out := sim.runStage(e, st, inputMB, rng, maxFail)
+			out := sim.runStage(e, st, inputMB, rng, maxFail, sc)
 			stageExecs++
 			if out.spillMB > 0 {
 				spillEvents++
@@ -108,24 +193,42 @@ func (sim *Simulator) Run(p *Program, inputMB float64, cfg conf.Config) *Result 
 	return res
 }
 
-// runSeed derives the deterministic per-run RNG seed.
-func (sim *Simulator) runSeed(p *Program, inputMB float64, cfg conf.Config) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(p.Name))
-	var buf [8]byte
-	put := func(v float64) {
-		bits := math.Float64bits(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(bits >> (8 * i))
-		}
-		h.Write(buf[:])
+// FNV-1a constants (hash/fnv's 64a variant). The seed derivation inlines
+// the hash so the hot path hashes without allocating and a batch can hash
+// the program-name prefix once; byte order and constants match hash/fnv
+// exactly, so seeds are unchanged from the hasher-based derivation.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvString is the FNV-1a hash of s.
+func fnvString(s string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
 	}
-	put(inputMB)
-	put(float64(sim.Seed))
-	for _, v := range cfg.Vector() {
-		put(v)
+	return h
+}
+
+// fnvFloat folds v's little-endian IEEE-754 bytes into h.
+func fnvFloat(h uint64, v float64) uint64 {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(bits>>(8*i)))) * fnvPrime64
 	}
-	return int64(h.Sum64())
+	return h
+}
+
+// runSeed derives the deterministic per-run RNG seed. nameHash is the
+// FNV-1a hash of the program name (fnvString), shared across a batch.
+func (sim *Simulator) runSeed(nameHash uint64, inputMB float64, cfg conf.Config) int64 {
+	h := fnvFloat(nameHash, inputMB)
+	h = fnvFloat(h, float64(sim.Seed))
+	for i, n := 0, cfg.Space().Len(); i < n; i++ {
+		h = fnvFloat(h, cfg.At(i))
+	}
+	return int64(h)
 }
 
 // stageOutcome carries one stage execution's accounting.
@@ -160,7 +263,7 @@ type taskModel struct {
 	wastedSec       float64 // time burned by failed attempts
 }
 
-func (sim *Simulator) runStage(e *env, st *Stage, inputMB float64, rng *rand.Rand, maxFail int) stageOutcome {
+func (sim *Simulator) runStage(e *env, st *Stage, inputMB float64, rng *rand.Rand, maxFail int, sc *runScratch) stageOutcome {
 	cfg := e.conf
 	cl := sim.Cluster
 	stageIn := st.InputFrac * inputMB
@@ -196,7 +299,7 @@ func (sim *Simulator) runStage(e *env, st *Stage, inputMB float64, rng *rand.Ran
 	// The primary buckets are additive; shuffle and spill attributions are
 	// subsets of them and are reported separately, not re-added.
 	base := tm.cpuSec + tm.diskSec + tm.netSec + tm.fixedSec + tm.gcSec
-	durs := make([]float64, tasks)
+	durs := sc.durations(tasks)
 	sigma := sim.Opt.noiseSigma()
 	// Partition skew belongs to the dataset, not the run: the same 8% of
 	// partitions are oversized on every execution, with multipliers
@@ -220,9 +323,13 @@ func (sim *Simulator) runStage(e *env, st *Stage, inputMB float64, rng *rand.Ran
 		durs[i] = d
 	}
 
-	// Speculative execution trims the straggler tail.
+	// Speculative execution trims the straggler tail. Each replaced
+	// straggler means a speculative copy actually launched, so it counts
+	// toward the stage's task launches — the paper's accounting counts
+	// every attempt, not just original tasks.
+	specCopies := 0
 	if cfg.GetBool(conf.Speculation) && !sim.Opt.DisableSpeculation && tasks >= 4 {
-		med := medianOf(durs)
+		med := sc.median(durs)
 		mult := cfg.Get(conf.SpeculationMultiplier)
 		quant := cfg.Get(conf.SpeculationQuantile)
 		intervalSec := cfg.Get(conf.SpeculationInterval) / 1000
@@ -234,11 +341,13 @@ func (sim *Simulator) runStage(e *env, st *Stage, inputMB float64, rng *rand.Ran
 		for i, d := range durs {
 			if d > thresh && copyDone < d {
 				durs[i] = copyDone
+				specCopies++
 			}
 		}
 	}
 
-	span, launches := scheduleTasks(durs, e.slots)
+	span, launches := scheduleTasksIn(durs, e.slots, sc)
+	launches += specCopies
 
 	// --- Stage-level overheads --------------------------------------------
 	over := 0.0
@@ -314,46 +423,63 @@ func wallShare(tasks, slots int) float64 {
 	return math.Ceil(float64(tasks)/float64(slots)) * 1.0
 }
 
-// medianOf returns the median without modifying xs.
-func medianOf(xs []float64) float64 {
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	return s[len(s)/2]
-}
-
-// slotHeap is a min-heap of slot-available times.
+// slotHeap is a min-heap of slot-available times. It is driven directly by
+// replaceMin rather than container/heap: the event loop only ever pops the
+// minimum and pushes one finish time back, and the interface-based heap
+// boxes every float64 it moves — one allocation per task event, which
+// dominated the collecting hot loop's allocation profile.
 type slotHeap []float64
 
-func (h slotHeap) Len() int            { return len(h) }
-func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *slotHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// replaceMin overwrites the minimum (the root) with v and restores heap
+// order — the event loop's pop-then-push, fused. A zero-filled slice is a
+// valid starting heap, so no separate Init is needed.
+func (h slotHeap) replaceMin(v float64) {
+	i, n := 0, len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if v <= h[m] {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = v
 }
 
 // scheduleTasks runs the list-scheduling event loop: each task goes to the
 // earliest-free slot. It returns the stage makespan and the number of task
-// launches.
+// launches (one per duration; speculative copies are accounted by the
+// caller, which knows how many stragglers it replaced).
 func scheduleTasks(durs []float64, slots int) (span float64, launches int) {
+	return scheduleTasksIn(durs, slots, nil)
+}
+
+// scheduleTasksIn is scheduleTasks over a caller-provided scratch whose
+// slot heap is reused; nil allocates a fresh heap.
+func scheduleTasksIn(durs []float64, slots int, sc *runScratch) (span float64, launches int) {
 	if slots < 1 {
 		slots = 1
 	}
 	if slots > len(durs) {
 		slots = len(durs)
 	}
-	h := make(slotHeap, slots)
-	heap.Init(&h)
+	var h slotHeap
+	if sc != nil {
+		h = sc.slotClock(slots)
+	} else {
+		h = make(slotHeap, slots)
+	}
 	maxFin := 0.0
 	for _, d := range durs {
-		t0 := heap.Pop(&h).(float64)
-		fin := t0 + d
-		heap.Push(&h, fin)
+		fin := h[0] + d // the root is the earliest-free slot
+		h.replaceMin(fin)
 		if fin > maxFin {
 			maxFin = fin
 		}

@@ -13,10 +13,19 @@ type FlatNode struct {
 	Right     int32
 	Value     float64
 	Leaf      bool
+	// Bin is the histogram bin whose upper edge equals Threshold, for
+	// split nodes grown by a Builder. Snapshots older than the field
+	// gob-decode it as zero — indistinguishable from a genuine bin 0 —
+	// so validity is signaled at the snapshot level, not per node:
+	// FromFlat ignores Bin and FromFlatWithCodes must only be used when
+	// the enclosing snapshot recorded that codes are present.
+	Bin uint8
 }
 
-// Flatten returns the tree's nodes in storage order.
+// Flatten returns the tree's nodes in storage order, including the
+// per-split bin codes when the tree carries them.
 func (t *Tree) Flatten() []FlatNode {
+	hasBins := len(t.bins) == len(t.feature)
 	out := make([]FlatNode, len(t.feature))
 	for i := range t.feature {
 		if t.feature[i] < 0 {
@@ -28,13 +37,17 @@ func (t *Tree) Flatten() []FlatNode {
 				Left:      t.left[i],
 				Right:     t.right[i],
 			}
+			if hasBins {
+				out[i].Bin = t.bins[i]
+			}
 		}
 	}
 	return out
 }
 
-// FromFlat rebuilds a tree from its flattened form. Split-gain metadata
-// (feature importance) is not persisted.
+// FromFlat rebuilds a tree from its flattened form, discarding bin codes:
+// the rebuilt tree predicts over float rows but cannot AccumulateBinned.
+// Split-gain metadata (feature importance) is not persisted.
 func FromFlat(nodes []FlatNode) (*Tree, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("tree: empty node list")
@@ -62,6 +75,26 @@ func FromFlat(nodes []FlatNode) (*Tree, error) {
 		t.thresh[i] = n.Threshold
 		t.left[i] = n.Left
 		t.right[i] = n.Right
+	}
+	return t, nil
+}
+
+// FromFlatWithCodes rebuilds a tree including its per-split bin codes, so
+// the reloaded tree still supports AccumulateBinned over rows encoded
+// against the edges its builder used (persisted alongside the trees by
+// internal/hm's snapshot, and applied to new rows via BinWithEdges). Use
+// only when the enclosing snapshot recorded that codes are valid: older
+// snapshots decode every Bin field as zero, which FromFlat safely drops.
+func FromFlatWithCodes(nodes []FlatNode) (*Tree, error) {
+	t, err := FromFlat(nodes)
+	if err != nil {
+		return nil, err
+	}
+	t.bins = make([]uint8, len(nodes))
+	for i, n := range nodes {
+		if !n.Leaf {
+			t.bins[i] = n.Bin
+		}
 	}
 	return t, nil
 }

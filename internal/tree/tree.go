@@ -154,8 +154,10 @@ func (t *Tree) AccumulateBatch(X [][]float64, scale float64, out []float64) {
 // exactly the leaf a float walk would: results are bit-identical to
 // AccumulateBatch over the original rows, but each node touches a byte
 // column that stays resident in cache instead of row-major float data.
-// Valid only for trees grown in-process by the Builder whose edges
-// encoded bm; trees reloaded via FromFlat carry no bin codes.
+// Valid only for trees carrying bin codes against the edges that encoded
+// bm: trees grown in-process by that Builder, or trees reloaded via
+// FromFlatWithCodes with bm encoded from the persisted edges
+// (BinWithEdges). Trees reloaded via FromFlat carry no bin codes.
 func (t *Tree) AccumulateBinned(bm *BinMatrix, scale float64, out []float64) {
 	if len(t.bins) != len(t.feature) {
 		panic("tree: AccumulateBinned on a tree without bin codes (grown by another builder or reloaded)")
@@ -176,6 +178,13 @@ func (t *Tree) AccumulateBinned(bm *BinMatrix, scale float64, out []float64) {
 			}
 		}
 	}
+}
+
+// HasBinCodes reports whether the tree carries the per-split bin codes
+// AccumulateBinned needs: true for trees grown in-process by a Builder
+// and for trees reloaded via FromFlatWithCodes, false after FromFlat.
+func (t *Tree) HasBinCodes() bool {
+	return len(t.feature) > 0 && len(t.bins) == len(t.feature)
 }
 
 // NumNodes returns the total node count (splits + leaves).
@@ -279,16 +288,40 @@ func (bm *BinMatrix) Len() int { return bm.n }
 // inclusive upper edge, exactly the builder's own binning rule, so
 // x[f] <= thresh holds iff the encoded value is <= the threshold's bin.
 func (b *Builder) Bin(X [][]float64) *BinMatrix {
-	bm := &BinMatrix{n: len(X), cols: make([][]uint8, b.d)}
-	for f := 0; f < b.d; f++ {
-		edges := b.edges[f]
+	return BinWithEdges(b.edges, X)
+}
+
+// BinWithEdges encodes rows of X into the histogram bins described by
+// edges (per feature, ascending upper thresholds, as returned by
+// Builder.Edges), applying the builder's binning rule without needing the
+// builder itself. Trees whose bin codes were produced against the same
+// edges evaluate over the result exactly as over a Builder.Bin matrix —
+// this is how a model reloaded from disk (edges persisted alongside its
+// trees) re-enters the binned training path.
+func BinWithEdges(edges [][]float64, X [][]float64) *BinMatrix {
+	bm := &BinMatrix{n: len(X), cols: make([][]uint8, len(edges))}
+	for f := range edges {
+		e := edges[f]
 		col := make([]uint8, len(X))
 		for i, row := range X {
-			col[i] = uint8(sort.SearchFloat64s(edges, row[f]))
+			col[i] = uint8(sort.SearchFloat64s(e, row[f]))
 		}
 		bm.cols[f] = col
 	}
 	return bm
+}
+
+// Edges returns a copy of the per-feature histogram bin edges derived
+// from the builder's design matrix. Every split threshold of a tree the
+// builder grows is one of these edges; persisting them alongside the
+// trees' bin codes is what lets a reloaded model keep using the binned
+// evaluation path (see BinWithEdges).
+func (b *Builder) Edges() [][]float64 {
+	out := make([][]float64, len(b.edges))
+	for f, e := range b.edges {
+		out[f] = append([]float64(nil), e...)
+	}
+	return out
 }
 
 // Binned returns the builder's own pre-binned training matrix as a
