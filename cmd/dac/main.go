@@ -69,6 +69,8 @@ func main() {
 		err = cmdSearch(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -80,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench|serve> [flags]
   dac collect -workload TS -n 2000 -out ts.csv
   dac train   -in ts.csv -out ts.model          # fit HM on collected data
   dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
@@ -89,6 +91,7 @@ func usage() {
   dac compare -workload TS [-ntrain 2000]
   dac importance -in ts.csv [-top 10]
   dac bench   [-json BENCH_model.json] [-quick]  # serial vs batched/parallel
+  dac serve   [-addr :7411] [-data dacd-data] [-workers 2]  # tuning daemon (HTTP API)
 pipeline subcommands also accept -report (print metrics report),
 -metrics <path> (write metrics JSON), -cpuprofile <path> and
 -memprofile <path> (write pprof profiles)`)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// cmdServe runs dacd, the long-lived tuning daemon: an HTTP JSON API
+// over the pipeline with durable, resumable jobs and a versioned model
+// registry (see DESIGN.md §10). The bound address is printed to stdout
+// and written to <data>/addr so scripts can use -addr :0 (a random free
+// port) without parsing logs. SIGINT/SIGTERM shut down gracefully:
+// in-flight collect rows stay journaled and unfinished jobs are adopted
+// by the next daemon started over the same data directory.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "listen address (use :0 for a random free port)")
+	data := fs.String("data", "dacd-data", "data directory (journals, jobs, collected CSVs, model registry)")
+	workers := fs.Int("workers", 2, "concurrent tuning jobs")
+	fs.Parse(args)
+
+	reg := obs.NewRegistry()
+	s, err := serve.NewServer(*data, *workers, reg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if err := os.WriteFile(filepath.Join(*data, "addr"), []byte(bound+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dacd listening on %s (data: %s, %d workers)\n", bound, *data, *workers)
+
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "dacd: %v, shutting down\n", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -196,17 +196,7 @@ func (t *Tuner) collect(sizesMB []float64) (*dataset.Set, Overhead, error) {
 	if len(sizesMB) == 0 {
 		return nil, Overhead{}, fmt.Errorf("core: no dataset sizes")
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	sampler := opt.Sampler
-	if sampler == nil {
-		sampler = conf.UniformSampler{}
-	}
-	cfgs := sampler.Sample(t.Space, opt.NTrain, rng)
-	jobs := make([]Job, opt.NTrain)
-	for i := range jobs {
-		jobs[i] = Job{Cfg: cfgs[i], DsizeMB: sizesMB[i%len(sizesMB)]}
-	}
-
+	jobs := t.CollectJobs(sizesMB)
 	times := make([]float64, len(jobs))
 	t.runJobs(jobs, times, opt.Parallelism)
 
@@ -425,11 +415,33 @@ func (t *Tuner) Tune(minMB, maxMB float64, targetsMB []float64) (*TuneResult, er
 	if err != nil {
 		return nil, err
 	}
+	return t.tuneCollected(root, set, ovC, targetsMB, nil)
+}
+
+// TuneCollected runs the model and search phases of Tune over an
+// already-collected training set. Given the set Collect (or a resumed
+// CollectResumable) produces for the tuner's Options, the result — best
+// configuration, prediction, GA trajectory — is identical to Tune's for
+// the same seed: the modeling and searching randomness derives from
+// Opt.Seed alone, never from how the set was gathered. This is the seam
+// the tuning daemon uses to make the collect phase durable without
+// perturbing the pipeline's output. progress, when non-nil, is called as
+// phases finish ("model" once, "search" per completed target).
+func (t *Tuner) TuneCollected(set *dataset.Set, collectOv Overhead, targetsMB []float64, progress func(phase string, done, total int)) (*TuneResult, error) {
+	root := t.Obs.StartSpan("tune")
+	defer root.End()
+	return t.tuneCollected(root, set, collectOv, targetsMB, progress)
+}
+
+func (t *Tuner) tuneCollected(root *obs.Span, set *dataset.Set, ovC Overhead, targetsMB []float64, progress func(phase string, done, total int)) (*TuneResult, error) {
 	ms := root.Child("model")
 	m, ovM, err := t.model(set)
 	ms.End()
 	if err != nil {
 		return nil, err
+	}
+	if progress != nil {
+		progress("model", 1, 1)
 	}
 	out := &TuneResult{
 		Best:         make(map[float64]conf.Config, len(targetsMB)),
@@ -441,7 +453,7 @@ func (t *Tuner) Tune(minMB, maxMB float64, targetsMB []float64) (*TuneResult, er
 	}
 	seedRng := rand.New(rand.NewSource(t.Opt.withDefaults().Seed + 5))
 	seeds := seedConfsFrom(set, t.Opt.withDefaults().GA.PopSize, seedRng)
-	for _, target := range targetsMB {
+	for k, target := range targetsMB {
 		ss := root.Child("search")
 		cfg, pred, gaRes, ovS, err := t.search(m, target, seeds)
 		ss.End()
@@ -452,6 +464,9 @@ func (t *Tuner) Tune(minMB, maxMB float64, targetsMB []float64) (*TuneResult, er
 		out.PredictedSec[target] = pred
 		out.GA[target] = gaRes
 		out.Overhead.SearchSec += ovS.SearchSec
+		if progress != nil {
+			progress("search", k+1, len(targetsMB))
+		}
 	}
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/conf"
 	"repro/internal/sparksim"
 )
@@ -8,13 +10,26 @@ import (
 // SimExecutor runs program-input pairs on the cluster simulator — the
 // Executor the facade and the commands wire into the pipeline. It
 // implements BatchExecutor: a chunk of collecting jobs becomes one
-// sparksim.RunBatch call, so program validation and the per-run scratch
-// buffers are paid once per chunk instead of once per run. Both paths
-// report identical times (RunBatch's bit-identity contract), so the
-// collector may pick either without changing any result.
+// sparksim.RunBatchInto call over pooled Result storage, so program
+// validation, the per-run scratch buffers, and the Result allocations are
+// paid once per chunk (or recycled across chunks) instead of once per
+// run. Both paths report identical times (RunBatch's bit-identity
+// contract), so the collector may pick either without changing any
+// result.
 type SimExecutor struct {
 	Sim  *sparksim.Simulator
 	Prog *sparksim.Program
+
+	// scratch recycles each batch's RunSpec and Result storage across
+	// ExecuteBatch calls; the sweep's steady state allocates only the
+	// returned times slice.
+	scratch sync.Pool
+}
+
+// batchScratch is one ExecuteBatch call's reusable storage.
+type batchScratch struct {
+	pairs   []sparksim.RunSpec
+	results []sparksim.Result
 }
 
 // NewSimExecutor adapts a simulator and a program to the collecting
@@ -28,16 +43,23 @@ func (e *SimExecutor) Execute(cfg conf.Config, dsizeMB float64) float64 {
 	return e.Sim.Run(e.Prog, dsizeMB, cfg).TotalSec
 }
 
-// ExecuteBatch implements BatchExecutor: one RunBatch over the chunk.
+// ExecuteBatch implements BatchExecutor: one RunBatchInto over the chunk,
+// against pooled Result storage.
 func (e *SimExecutor) ExecuteBatch(jobs []Job) []float64 {
-	pairs := make([]sparksim.RunSpec, len(jobs))
-	for i, j := range jobs {
-		pairs[i] = sparksim.RunSpec{Cfg: j.Cfg, InputMB: j.DsizeMB}
+	sc, _ := e.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
 	}
-	res := e.Sim.RunBatch(e.Prog, pairs)
-	out := make([]float64, len(res))
-	for i, r := range res {
-		out[i] = r.TotalSec
+	pairs := sc.pairs[:0]
+	for _, j := range jobs {
+		pairs = append(pairs, sparksim.RunSpec{Cfg: j.Cfg, InputMB: j.DsizeMB})
 	}
+	sc.results = e.Sim.RunBatchInto(e.Prog, pairs, sc.results)
+	out := make([]float64, len(jobs))
+	for i := range sc.results {
+		out[i] = sc.results[i].TotalSec
+	}
+	sc.pairs = pairs
+	e.scratch.Put(sc)
 	return out
 }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/conf"
+	"repro/internal/dataset"
+)
+
+// RowTime is one completed collecting row: the job's index in the sweep
+// order, the job itself, and its measured execution time. The index is
+// the durable identity of the row — the sweep's job list is a pure
+// function of (Space, Options, sizes), so a journaled (index, time) pair
+// is enough to skip the row on resume.
+type RowTime struct {
+	Index   int
+	Job     Job
+	TimeSec float64
+}
+
+// CollectHooks customizes the resumable collecting path. The zero value
+// runs a plain, non-durable collect at checkpoint-batch granularity.
+type CollectHooks struct {
+	// Known reports a row's already-measured execution time — fed from a
+	// journal on resume. Rows with a known time are not re-executed; their
+	// time lands in the collected set as-is.
+	Known func(index int) (timeSec float64, ok bool)
+	// OnBatch observes each scheduled batch's freshly executed rows,
+	// index-ascending within the batch — the journal append + checkpoint
+	// hook. It is called from worker goroutines concurrently;
+	// implementations must synchronize.
+	OnBatch func(rows []RowTime)
+	// Progress receives the cumulative completed row count (known rows
+	// included) after every batch, and once up front for the known rows.
+	// Called from worker goroutines concurrently.
+	Progress func(done, total int)
+	// BatchRows bounds the rows per scheduled batch — the checkpoint and
+	// cancellation granularity (default 64). Batched executors amortize
+	// per-run setup across one ExecuteBatch call per batch; results are
+	// byte-identical for any value.
+	BatchRows int
+}
+
+// defaultBatchRows is the checkpoint granularity when hooks don't choose:
+// small enough that a killed daemon loses at most one batch of sweep
+// work, large enough to keep ExecuteBatch's amortization.
+const defaultBatchRows = 64
+
+// CollectJobs returns the sweep's job list for the given sizes — the
+// (configuration, datasize) pairs Collect and CollectResumable execute,
+// in row order. The list is a pure function of (Space, Opt.Seed,
+// Opt.NTrain, Opt.Sampler, sizesMB); durable collect journals rely on
+// this to identify rows across daemon restarts by index alone.
+func (t *Tuner) CollectJobs(sizesMB []float64) []Job {
+	opt := t.Opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sampler := opt.Sampler
+	if sampler == nil {
+		sampler = conf.UniformSampler{}
+	}
+	cfgs := sampler.Sample(t.Space, opt.NTrain, rng)
+	jobs := make([]Job, opt.NTrain)
+	for i := range jobs {
+		jobs[i] = Job{Cfg: cfgs[i], DsizeMB: sizesMB[i%len(sizesMB)]}
+	}
+	return jobs
+}
+
+// CollectResumable is Collect with durability seams: rows already known
+// (journaled by a previous, interrupted run) are skipped, freshly
+// executed rows are handed to OnBatch in checkpoint-sized batches as they
+// complete, and ctx cancels the sweep between batches. The collected set
+// is byte-identical to Collect's for the same Options — row times depend
+// only on (Seed, Exec), never on batch boundaries, worker count, or which
+// rows were resumed — so a CSV written from a resumed sweep matches an
+// uninterrupted run exactly, at any GOMAXPROCS.
+//
+// On cancellation the error wraps ctx.Err(); rows that completed before
+// the cancel were already delivered to OnBatch, so a journaling caller
+// loses at most the batches in flight.
+func (t *Tuner) CollectResumable(ctx context.Context, sizesMB []float64, hooks CollectHooks) (*dataset.Set, Overhead, error) {
+	sp := t.Obs.StartSpan("collect")
+	defer sp.End()
+
+	opt := t.Opt.withDefaults()
+	if len(sizesMB) == 0 {
+		return nil, Overhead{}, fmt.Errorf("core: no dataset sizes")
+	}
+	jobs := t.CollectJobs(sizesMB)
+	total := len(jobs)
+
+	batchRows := hooks.BatchRows
+	if batchRows <= 0 {
+		batchRows = defaultBatchRows
+	}
+
+	// Partition the rows: known ones land immediately, the rest queue up
+	// in index order as checkpoint-sized batches.
+	times := make([]float64, total)
+	pending := make([]int, 0, total)
+	for i := range jobs {
+		if hooks.Known != nil {
+			if sec, ok := hooks.Known(i); ok {
+				times[i] = sec
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	known := total - len(pending)
+	var done atomic.Int64
+	done.Store(int64(known))
+	if hooks.Progress != nil {
+		hooks.Progress(known, total)
+	}
+
+	batches := make(chan []int, (len(pending)+batchRows-1)/batchRows)
+	for lo := 0; lo < len(pending); lo += batchRows {
+		hi := lo + batchRows
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		batches <- pending[lo:hi]
+	}
+	close(batches)
+
+	workers := opt.Parallelism
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	be, batched := t.Exec.(BatchExecutor)
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var jbuf []Job
+			for idx := range batches {
+				if ctx.Err() != nil {
+					return // abandon; completed batches are already journaled
+				}
+				jbuf = jbuf[:0]
+				for _, i := range idx {
+					jbuf = append(jbuf, jobs[i])
+				}
+				var sec []float64
+				if batched {
+					bs := t.Obs.StartSpan("core.collect.batch")
+					sec = be.ExecuteBatch(jbuf)
+					bs.End()
+					t.Obs.Counter("core.collect.batches").Inc()
+				} else {
+					sec = make([]float64, len(jbuf))
+					for k, j := range jbuf {
+						sec[k] = t.Exec.Execute(j.Cfg, j.DsizeMB)
+					}
+				}
+				rows := make([]RowTime, len(idx))
+				for k, i := range idx {
+					times[i] = sec[k]
+					rows[k] = RowTime{Index: i, Job: jobs[i], TimeSec: sec[k]}
+				}
+				if hooks.OnBatch != nil {
+					hooks.OnBatch(rows)
+				}
+				n := done.Add(int64(len(idx)))
+				if hooks.Progress != nil {
+					hooks.Progress(int(n), total)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, Overhead{}, fmt.Errorf("core: collect interrupted: %w", err)
+	}
+
+	set := dataset.NewSet(t.Space)
+	var clusterSec float64
+	for i, j := range jobs {
+		if times[i] <= 0 || math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+			return nil, Overhead{}, fmt.Errorf("core: execution %d returned time %v", i, times[i])
+		}
+		set.Add(j.Cfg, j.DsizeMB, times[i])
+		clusterSec += times[i]
+	}
+	t.Obs.Counter("core.collect.jobs").Add(int64(total - known))
+	t.Obs.Counter("core.collect.resumed.rows").Add(int64(known))
+	t.Obs.Float("core.collect.cluster.sec").Add(clusterSec)
+	return set, Overhead{CollectClusterHours: clusterSec / 3600}, nil
+}

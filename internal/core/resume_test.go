@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/ga"
+	"repro/internal/hm"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// TestCollectResumableMatchesCollect pins the durable path's equivalence
+// contract: with no known rows, CollectResumable must produce a CSV
+// byte-identical to Collect's — for any checkpoint batch size, with and
+// without a batched executor — and deliver every row exactly once
+// through OnBatch.
+func TestCollectResumableMatchesCollect(t *testing.T) {
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sparksim.New(cluster.Standard(), 8)
+	tuner := &Tuner{
+		Space: conf.StandardSpace(),
+		Exec:  NewSimExecutor(sim, &w.Program),
+		Opt:   Options{NTrain: 150, Seed: 1},
+	}
+	sizes := tuner.TrainingSizesMB(10*1024, 50*1024)
+	ref, refOv, err := tuner.Collect(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := ref.WriteCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batchRows := range []int{1, 7, 64, 1000} {
+		var mu sync.Mutex
+		seen := make(map[int]float64)
+		set, ov, err := tuner.CollectResumable(context.Background(), sizes, CollectHooks{
+			BatchRows: batchRows,
+			OnBatch: func(rows []RowTime) {
+				mu.Lock()
+				defer mu.Unlock()
+				for _, r := range rows {
+					if _, dup := seen[r.Index]; dup {
+						t.Errorf("batchRows=%d: row %d delivered twice", batchRows, r.Index)
+					}
+					seen[r.Index] = r.TimeSec
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := set.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(csv.Bytes(), refCSV.Bytes()) {
+			t.Fatalf("batchRows=%d: resumable collect CSV differs from Collect", batchRows)
+		}
+		if ov.CollectClusterHours != refOv.CollectClusterHours {
+			t.Fatalf("batchRows=%d: cluster-hours drifted: %v vs %v",
+				batchRows, ov.CollectClusterHours, refOv.CollectClusterHours)
+		}
+		if len(seen) != tuner.Opt.NTrain {
+			t.Fatalf("batchRows=%d: OnBatch saw %d rows, want %d", batchRows, len(seen), tuner.Opt.NTrain)
+		}
+	}
+
+	// Known rows short-circuit: feed half the rows back, require the other
+	// half to be the only fresh executions, and the set to stay identical.
+	half := make(map[int]float64)
+	for i, pv := range ref.Vectors {
+		if i%2 == 0 {
+			half[i] = pv.TimeSec
+		}
+	}
+	fresh := 0
+	var mu sync.Mutex
+	set, _, err := tuner.CollectResumable(context.Background(), sizes, CollectHooks{
+		Known: func(i int) (float64, bool) { v, ok := half[i]; return v, ok },
+		OnBatch: func(rows []RowTime) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range rows {
+				if _, known := half[r.Index]; known {
+					t.Errorf("known row %d re-executed", r.Index)
+				}
+				fresh++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := set.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv.Bytes(), refCSV.Bytes()) {
+		t.Fatal("half-resumed collect CSV differs from Collect")
+	}
+	if fresh != tuner.Opt.NTrain-len(half) {
+		t.Fatalf("resumed sweep executed %d fresh rows, want %d", fresh, tuner.Opt.NTrain-len(half))
+	}
+}
+
+// TestCollectResumableCancel pins cancellation: a cancelled sweep returns
+// ctx's error, and the rows delivered before the cancel replay through
+// Known to finish the sweep with a byte-identical CSV.
+func TestCollectResumableCancel(t *testing.T) {
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sparksim.New(cluster.Standard(), 8)
+	tuner := &Tuner{
+		Space: conf.StandardSpace(),
+		Exec:  NewSimExecutor(sim, &w.Program),
+		Opt:   Options{NTrain: 120, Seed: 1, Parallelism: 2},
+	}
+	sizes := tuner.TrainingSizesMB(10*1024, 50*1024)
+	ref, _, err := tuner.Collect(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := ref.WriteCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	journal := make(map[int]float64)
+	var mu sync.Mutex
+	_, _, err = tuner.CollectResumable(ctx, sizes, CollectHooks{
+		BatchRows: 10,
+		OnBatch: func(rows []RowTime) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range rows {
+				journal[r.Index] = r.TimeSec
+			}
+			if len(journal) >= 30 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled collect returned nil error")
+	}
+	if len(journal) >= tuner.Opt.NTrain {
+		t.Fatalf("cancel had no effect: all %d rows ran", len(journal))
+	}
+
+	set, _, err := tuner.CollectResumable(context.Background(), sizes, CollectHooks{
+		BatchRows: 10,
+		Known: func(i int) (float64, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			v, ok := journal[i]
+			return v, ok
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := set.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv.Bytes(), refCSV.Bytes()) {
+		t.Fatal("cancel-then-resume CSV differs from an uninterrupted Collect")
+	}
+}
+
+// TestTuneCollectedMatchesTune pins the daemon's pipeline seam: Tune must
+// equal collect-then-TuneCollected exactly — same best vector, same
+// prediction, same GA trajectory — because all modeling/search randomness
+// derives from Opt.Seed, not from how the set was gathered.
+func TestTuneCollectedMatchesTune(t *testing.T) {
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTuner := func() *Tuner {
+		sim := sparksim.New(cluster.Standard(), 8)
+		return &Tuner{
+			Space: conf.StandardSpace(),
+			Exec:  NewSimExecutor(sim, &w.Program),
+			Opt: Options{
+				NTrain: 200,
+				HM:     hm.Options{Trees: 120, LearningRate: 0.1, TreeComplexity: 5},
+				GA:     ga.Options{PopSize: 20, Generations: 10},
+				Seed:   3,
+			},
+		}
+	}
+	target := w.InputMB(30)
+	lo, hi := w.InputMB(10), w.InputMB(50)
+
+	ref, err := newTuner().Tune(lo, hi, []float64{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tuner := newTuner()
+	set, ovC, err := tuner.CollectResumable(context.Background(), tuner.TrainingSizesMB(lo, hi), CollectHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	got, err := tuner.TuneCollected(set, ovC, []float64{target}, func(phase string, done, total int) {
+		phases = append(phases, phase)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Best[target].Vector(), ref.Best[target].Vector()) {
+		t.Fatal("TuneCollected best configuration differs from Tune")
+	}
+	if got.PredictedSec[target] != ref.PredictedSec[target] {
+		t.Fatalf("predictions differ: %v vs %v", got.PredictedSec[target], ref.PredictedSec[target])
+	}
+	if !reflect.DeepEqual(got.GA[target].History, ref.GA[target].History) {
+		t.Fatal("GA trajectories differ")
+	}
+	if len(phases) != 2 || phases[0] != "model" || phases[1] != "search" {
+		t.Fatalf("progress phases = %v, want [model search]", phases)
+	}
+}

@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
-	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/sparksim"
@@ -16,50 +16,35 @@ import (
 // collect gathers n performance vectors for workload w: random
 // configurations over ten dataset sizes spanning slightly beyond the
 // Table 1 range (so the model interpolates rather than extrapolates at
-// the evaluation sizes). Each worker runs one contiguous chunk of the
-// jobs as a single sparksim.RunBatch call — per-run scratch amortized
-// across the chunk, no goroutine-per-job spawn — and results land by
-// position, so the collected set is deterministic in (simSeed, seed)
-// and byte-identical at any GOMAXPROCS.
+// the evaluation sizes). It delegates to the hook-capable core sweep —
+// checkpoint-sized batches through a worker pool, each batch one
+// sparksim.RunBatch call via the pooled batch executor — whose contract
+// keeps the collected set deterministic in (simSeed, seed) and
+// byte-identical at any GOMAXPROCS and any batch size.
 func collect(sc Scale, w *workloads.Workload, n int, simSeed, seed int64) *dataset.Set {
 	sp := sc.Obs.StartSpan("experiments.collect")
 	defer sp.End()
 	sim := sparksim.New(sc.Cluster, simSeed)
 	sim.Instrument(sc.Obs)
 	sc.Obs.Counter("experiments.collect.jobs").Add(int64(n))
-	space := conf.StandardSpace()
-	rng := rand.New(rand.NewSource(seed))
 
-	sizes := trainingSizes(w)
-	pairs := make([]sparksim.RunSpec, n)
-	for i := range pairs {
-		pairs[i] = sparksim.RunSpec{Cfg: space.Random(rng), InputMB: sizes[i%len(sizes)]}
+	// UniformSampler draws space.Random(rng) per row — the exact sequence
+	// the pre-core inline collector produced from the same seed.
+	tuner := &core.Tuner{
+		Space: conf.StandardSpace(),
+		Exec:  core.NewSimExecutor(sim, &w.Program),
+		Opt:   core.Options{NTrain: n, Seed: seed, Sampler: conf.UniformSampler{}},
 	}
-	times := make([]float64, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	for c := 0; c < workers; c++ {
-		lo, hi := c*n/workers, (c+1)*n/workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i, r := range sim.RunBatch(&w.Program, pairs[lo:hi]) {
-				times[lo+i] = r.TotalSec
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	sc.Obs.Counter("experiments.collect.batches").Add(int64(workers))
-
-	set := dataset.NewSet(space)
-	for i, p := range pairs {
-		set.Add(p.Cfg, p.InputMB, times[i])
+	set, _, err := tuner.CollectResumable(context.Background(), trainingSizes(w), core.CollectHooks{
+		OnBatch: func([]core.RowTime) {
+			sc.Obs.Counter("experiments.collect.batches").Inc()
+		},
+	})
+	if err != nil {
+		// The background context never cancels and the simulator returns
+		// finite positive times, so this is unreachable short of a
+		// programming error.
+		panic(fmt.Sprintf("experiments: collect: %v", err))
 	}
 	return set
 }

@@ -1,0 +1,87 @@
+package ga
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GenomeCache memoizes objective values keyed on the exact gene bits of a
+// genome. It is sharded by genome hash — one mutex-guarded map per shard,
+// with the shard count rounded up to a power of two at or above
+// GOMAXPROCS — so concurrent searches sharing one cache (the daemon runs
+// several search jobs at once) spread their lookups across shards instead
+// of contending on a single map.
+//
+// A cache may only be shared between searches whose objectives are
+// identical: the key is the genome alone, so two searches minimizing
+// different functions (a different model, or the same model at a
+// different target datasize) would poison each other's values. Minimize
+// creates a private cache per run unless Options.Cache injects a shared
+// one.
+type GenomeCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// NewGenomeCache returns an empty cache with GOMAXPROCS-proportional
+// sharding.
+func NewGenomeCache() *GenomeCache {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	c := &GenomeCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]float64)
+	}
+	return c
+}
+
+// FNV-1a constants, matching hash/fnv's 64a variant.
+const (
+	cacheFNVOffset uint64 = 14695981039346656037
+	cacheFNVPrime  uint64 = 1099511628211
+)
+
+// shard picks the shard for a genome key by FNV-1a hash.
+func (c *GenomeCache) shard(key string) *cacheShard {
+	h := cacheFNVOffset
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * cacheFNVPrime
+	}
+	return &c.shards[h&c.mask]
+}
+
+// Lookup returns the memoized value for the genome key, if present.
+func (c *GenomeCache) Lookup(key string) (float64, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Store memoizes the value for the genome key.
+func (c *GenomeCache) Store(key string, v float64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// Len returns the number of memoized genomes across all shards.
+func (c *GenomeCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package ga
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/conf"
+)
+
+// TestSharedCacheSameResult pins the sharing contract: a Minimize run
+// against a pre-warmed shared cache must return exactly the result of a
+// run with a private cache — only the Evaluations/CacheHits split moves,
+// and it moves exactly (every lookup is either a real objective call or a
+// counted hit).
+func TestSharedCacheSameResult(t *testing.T) {
+	space := conf.StandardSpace()
+	obj := sphere(space)
+	opt := quickOpt()
+
+	ref := Minimize(space, obj, nil, opt)
+
+	shared := NewGenomeCache()
+	optS := opt
+	optS.Cache = shared
+	first := Minimize(space, obj, nil, optS)
+	if !reflect.DeepEqual(first.Best, ref.Best) || first.BestFitness != ref.BestFitness ||
+		!reflect.DeepEqual(first.History, ref.History) {
+		t.Fatal("shared-cache run diverged from the private-cache run")
+	}
+	if first.Evaluations != ref.Evaluations || first.CacheHits != ref.CacheHits {
+		t.Fatalf("cold shared cache changed the eval split: evals %d/%d hits %d/%d",
+			first.Evaluations, ref.Evaluations, first.CacheHits, ref.CacheHits)
+	}
+
+	// A second identical run replays everything: zero objective calls,
+	// every lookup a hit, identical result.
+	second := Minimize(space, obj, nil, optS)
+	if !reflect.DeepEqual(second.Best, ref.Best) || second.BestFitness != ref.BestFitness {
+		t.Fatal("warm shared-cache run diverged")
+	}
+	if second.Evaluations != 0 {
+		t.Fatalf("warm cache still evaluated %d genomes", second.Evaluations)
+	}
+	if second.Evaluations+second.CacheHits != ref.Evaluations+ref.CacheHits {
+		t.Fatalf("lookup count drifted: %d+%d != %d+%d",
+			second.Evaluations, second.CacheHits, ref.Evaluations, ref.CacheHits)
+	}
+	if shared.Len() != ref.Evaluations {
+		t.Fatalf("cache holds %d genomes, want the %d evaluated", shared.Len(), ref.Evaluations)
+	}
+}
+
+// TestSharedCacheConcurrentSearches runs several searches of the same
+// objective against one shared cache concurrently — the daemon's search
+// worker pool — and requires every one to reproduce the private-cache
+// reference bit for bit. Run under -race, this also proves the sharded
+// cache is safe for concurrent use.
+func TestSharedCacheConcurrentSearches(t *testing.T) {
+	space := conf.StandardSpace()
+	obj := sphere(space)
+	opt := quickOpt()
+	opt.PopSize, opt.Generations = 24, 12
+
+	refs := make([]Result, 3)
+	for s := range refs {
+		o := opt
+		o.Seed = int64(100 + s)
+		refs[s] = Minimize(space, obj, nil, o)
+	}
+
+	shared := NewGenomeCache()
+	const callers = 6
+	got := make([]Result, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			o := opt
+			o.Seed = int64(100 + c%len(refs))
+			o.Cache = shared
+			got[c] = Minimize(space, obj, nil, o)
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		ref := refs[c%len(refs)]
+		if !reflect.DeepEqual(got[c].Best, ref.Best) || got[c].BestFitness != ref.BestFitness {
+			t.Fatalf("caller %d: concurrent shared-cache search diverged from its reference", c)
+		}
+	}
+}
+
+// TestGenomeCacheShards exercises the cache primitive directly: values
+// round-trip, misses miss, and Len aggregates across shards.
+func TestGenomeCacheShards(t *testing.T) {
+	c := NewGenomeCache()
+	if len(c.shards)&(len(c.shards)-1) != 0 {
+		t.Fatalf("shard count %d is not a power of two", len(c.shards))
+	}
+	keys := []string{"", "a", "ab", "genome-1", "genome-2", "\x00\x01\x02"}
+	for i, k := range keys {
+		c.Store(k, float64(i))
+	}
+	for i, k := range keys {
+		v, ok := c.Lookup(k)
+		if !ok || v != float64(i) {
+			t.Fatalf("key %q: got (%v,%v), want (%v,true)", k, v, ok, float64(i))
+		}
+	}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Fatal("phantom hit for a never-stored key")
+	}
+	if c.Len() != len(keys) {
+		t.Fatalf("Len=%d, want %d", c.Len(), len(keys))
+	}
+}

@@ -68,6 +68,16 @@ type Options struct {
 	// the exact gene bits, and Evaluations counts only real objective
 	// calls. The search result is identical with or without the cache.
 	NoCache bool
+	// Cache, when non-nil, replaces the run-private genome memo cache
+	// with a shared one, letting repeated searches of the same objective
+	// (the daemon's idempotent search traffic) replay each other's
+	// evaluations. The cache is sharded by genome hash, so concurrent
+	// Minimize calls sharing it do not contend on one map. Callers must
+	// only share a cache between searches whose objectives are identical
+	// — the key is the genome alone. Ignored under NoCache. The search
+	// result is identical with or without sharing; only Evaluations and
+	// CacheHits shift (replays replace objective calls, counted exactly).
+	Cache *GenomeCache
 	// Seed drives all randomness.
 	Seed int64
 	// Obs, when non-nil, receives search metrics: runs, generations,
@@ -153,10 +163,15 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 
 	// Genome memoization: fitness keyed on the exact gene bits, so
 	// repeated individuals (elites, duplicate children late in a
-	// converged run) never reach the objective again.
-	var cache map[string]float64
+	// converged run) never reach the objective again. The cache is the
+	// sharded kind either way; a run-private one simply never contends.
+	var cache *GenomeCache
 	if !opt.NoCache {
-		cache = make(map[string]float64, 4*opt.PopSize)
+		if opt.Cache != nil {
+			cache = opt.Cache
+		} else {
+			cache = NewGenomeCache()
+		}
 	}
 	keyBuf := make([]byte, 0, 8*d)
 	keyOf := func(x []float64) string {
@@ -181,7 +196,7 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 			batch := make(map[string]int, len(pop))
 			for i, x := range pop {
 				k := keyOf(x)
-				if v, ok := cache[k]; ok {
+				if v, ok := cache.Lookup(k); ok {
 					fit[i] = v
 					res.CacheHits++
 					continue
@@ -232,7 +247,7 @@ func Minimize(space *conf.Space, obj Objective, init [][]float64, opt Options) R
 		evals.Add(int64(m))
 		if cache != nil {
 			for j, v := range vals {
-				cache[keys[j]] = v
+				cache.Store(keys[j], v)
 				for _, i := range rows[j] {
 					fit[i] = v
 				}

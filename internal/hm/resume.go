@@ -13,10 +13,17 @@ import (
 // sub-model: up to extra additional trees are grown over ds on the
 // residuals the sub-model currently leaves, with the same bootstrap
 // sampling and early stopping as Train, after which the blend
-// coefficients and ValErr are refit on the fresh validation split. The
-// train/validation split and all randomness derive from opt.Seed, so
-// Resume is deterministic — and it is bit-identical whether m was just
-// trained or went through Save/Load first. A model with its binned form
+// coefficients and ValErr are refit on the fresh validation split. If the
+// refit blend still misses opt.TargetAccuracy, Resume then continues
+// Algorithm 1's hierarchical recursion where Train left off: additional
+// converged first-order models are grown (full opt.Trees budget each,
+// fresh randomness) and blended in until the target is met or the order
+// reaches opt.MaxOrder, with m.Order tracking the result — so a registry
+// warm-start keeps the hierarchy growing instead of only stretching the
+// last sub-model. The train/validation split and all randomness derive
+// from opt.Seed, so Resume is deterministic — and it is bit-identical
+// whether m was just trained or went through Save/Load first. A model
+// with its binned form
 // intact (trained in-process, or reloaded from a version-2 snapshot that
 // persisted the builder's bin edges and the trees' bin codes) replays its
 // existing trees over freshly encoded rows with tree.AccumulateBinned;
@@ -76,6 +83,24 @@ func Resume(m *Model, ds *model.Dataset, opt Options, extra int) error {
 	}
 
 	tr.boost(fo, pred, valPred, extra, rand.New(rand.NewSource(rng.Int63())), nil)
+	m.coefs = tr.fitCoefs(m.subs)
+	m.ValErr = tr.valError(m.subs, m.coefs)
+
+	// Algorithm 1's outer loop, resumed: while the blend still misses the
+	// target and the order budget allows, grow another converged
+	// first-order model and refit the blend. Each appended sub-model draws
+	// its randomness from the same rng stream, so the whole continuation
+	// is a pure function of (m, ds, opt.Seed, extra).
+	appended := 0
+	for 1-m.ValErr < opt.TargetAccuracy && len(m.subs) < opt.MaxOrder {
+		sub := tr.firstOrderProcedure(rand.New(rand.NewSource(rng.Int63())), nil)
+		m.subs = append(m.subs, sub)
+		m.coefs = tr.fitCoefs(m.subs)
+		m.ValErr = tr.valError(m.subs, m.coefs)
+		appended++
+	}
+	m.Order = len(m.subs)
+
 	// The new trees' bin codes refer to the resume builder's edges. If
 	// those differ from the edges the old trees were coded against, no
 	// single edge set describes the whole model any more: drop the binned
@@ -90,10 +115,9 @@ func Resume(m *Model, ds *model.Dataset, opt Options, extra int) error {
 			m.edges = nil
 		}
 	}
-	m.coefs = tr.fitCoefs(m.subs)
-	m.ValErr = tr.valError(m.subs, m.coefs)
 
 	opt.Obs.Counter("hm.resumes").Inc()
+	opt.Obs.Counter("hm.resume.appended").Add(int64(appended))
 	opt.Obs.Counter("hm.trees").Add(int64(m.NumTrees()))
 	opt.Obs.Histogram("hm.resume.sec", nil).Observe(time.Since(start).Seconds())
 	return nil

@@ -131,6 +131,113 @@ func TestResumeBinnedMatchesFloatReplay(t *testing.T) {
 	}
 }
 
+// TestResumeAppendsSubModels pins the hierarchical continuation: when the
+// refit blend still misses the target accuracy, Resume must grow
+// additional first-order sub-models — continuing Algorithm 1's recursion
+// — up to MaxOrder, not merely stretch the last sub-model.
+func TestResumeAppendsSubModels(t *testing.T) {
+	ds := synthDS(500, 99)
+	// Train a deliberately under-fit order-1 model (tiny tree budget, no
+	// second order allowed).
+	opt := Options{Trees: 20, LearningRate: 0.1, TreeComplexity: 5, Seed: 17, MaxOrder: 1}
+	m, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order != 1 {
+		t.Fatalf("setup: order %d, want 1", m.Order)
+	}
+
+	// Resume with an unreachable target and room for two more orders: the
+	// recursion must fill the order budget.
+	reg := obs.NewRegistry()
+	ropt := Options{Trees: 20, LearningRate: 0.1, TreeComplexity: 5, Seed: 17,
+		MaxOrder: 3, TargetAccuracy: 0.9999, ConvergeWindow: 10, Obs: reg}
+	if err := Resume(m, ds, ropt, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Order != 3 || len(m.subs) != 3 {
+		t.Fatalf("resume reached order %d with %d sub-models, want 3/3", m.Order, len(m.subs))
+	}
+	if len(m.coefs) != 3 {
+		t.Fatalf("blend has %d coefficients, want 3", len(m.coefs))
+	}
+	if got := reg.Counter("hm.resume.appended").Value(); got != 2 {
+		t.Fatalf("hm.resume.appended = %d, want 2", got)
+	}
+
+	// Determinism: the same continuation from an identical starting model
+	// must be bit-identical.
+	m2, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(m2, ds, ropt, 10); err != nil {
+		t.Fatal(err)
+	}
+	probe := synthDS(120, 100)
+	for i, x := range probe.Features {
+		if a, b := m.Predict(x), m2.Predict(x); a != b {
+			t.Fatalf("probe %d: appended continuation not deterministic: %v != %v", i, a, b)
+		}
+	}
+
+	// A model that already meets the target must not grow extra orders.
+	sat, err := Train(ds, Options{Trees: 300, LearningRate: 0.1, TreeComplexity: 5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 1-sat.ValErr < 0.90 {
+		t.Skipf("setup: saturated model only reached %.3f accuracy", 1-sat.ValErr)
+	}
+	before := len(sat.subs)
+	if err := Resume(sat, ds, Options{Trees: 300, LearningRate: 0.1, TreeComplexity: 5, Seed: 17, MaxOrder: 4}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(sat.subs) != before {
+		t.Fatalf("resume appended %d sub-models to a model already at target", len(sat.subs)-before)
+	}
+}
+
+// TestResumeAppendAfterSaveLoad pins that the appended-sub-model path is
+// bit-identical across persistence, like the plain extension path.
+func TestResumeAppendAfterSaveLoad(t *testing.T) {
+	ds := synthDS(450, 101)
+	opt := Options{Trees: 15, LearningRate: 0.1, TreeComplexity: 5, Seed: 19, MaxOrder: 1}
+	fresh, err := Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropt := Options{Trees: 15, LearningRate: 0.1, TreeComplexity: 5, Seed: 19,
+		MaxOrder: 2, TargetAccuracy: 0.9999, ConvergeWindow: 10}
+	if err := Resume(fresh, ds, ropt, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(loaded, ds, ropt, 8); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Order != 2 || loaded.Order != 2 {
+		t.Fatalf("orders %d/%d, want 2/2", fresh.Order, loaded.Order)
+	}
+	if fresh.ValErr != loaded.ValErr {
+		t.Fatalf("ValErr diverged: %v vs %v", fresh.ValErr, loaded.ValErr)
+	}
+	probe := synthDS(120, 102)
+	for i, x := range probe.Features {
+		if a, b := fresh.Predict(x), loaded.Predict(x); a != b {
+			t.Fatalf("probe %d: never-persisted %v != save/load %v", i, a, b)
+		}
+	}
+}
+
 // TestResumeRejectsBadInput covers the resume guard rails.
 func TestResumeRejectsBadInput(t *testing.T) {
 	ds := synthDS(400, 97)

@@ -1,0 +1,777 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ga"
+	"repro/internal/hm"
+	"repro/internal/obs"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// JobType selects which pipeline slice a job runs.
+type JobType string
+
+const (
+	// JobCollect runs the collecting component and stores the training
+	// CSV under the data directory. Durable: rows journal as they
+	// complete, and a restarted daemon resumes the sweep.
+	JobCollect JobType = "collect"
+	// JobTrain fits (or warm-starts) an HM model on a finished collect
+	// job's CSV and registers it.
+	JobTrain JobType = "train"
+	// JobSearch runs the GA against a registered model for one target
+	// size.
+	JobSearch JobType = "search"
+	// JobTune runs the full pipeline — durable collect, model, search —
+	// and registers the model.
+	JobTune JobType = "tune"
+)
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobSpec is the client-submitted description of one job. Budgets left
+// zero take the paper's settings (ntrain 2000, 3600 trees, GA 100×100);
+// Quick selects small smoke-test budgets; explicit values win over both.
+// The same seed and budgets produce the same result as the equivalent
+// `dac` CLI invocation — the service adds durability, not different math.
+type JobSpec struct {
+	Type     JobType `json:"type"`
+	Workload string  `json:"workload"`
+	// Size is the target datasize in the workload's units (search/tune);
+	// 0 selects the middle Table 1 size, like the CLI.
+	Size float64 `json:"size,omitempty"`
+	// NTrain is the number of vectors to collect (collect/tune).
+	NTrain int   `json:"ntrain,omitempty"`
+	Seed   int64 `json:"seed,omitempty"` // default 1
+	// Model names the registry entry to read (train warm-start source /
+	// search) or write (train/tune); default: the workload abbreviation,
+	// lowercased.
+	Model        string `json:"model,omitempty"`
+	ModelVersion int    `json:"model_version,omitempty"` // 0 = latest
+	// FromJob is the finished collect (or tune) job whose CSV feeds a
+	// train job.
+	FromJob int64 `json:"from_job,omitempty"`
+	// WarmFrom, for train jobs, names a registered model to continue via
+	// hm.Resume instead of training from scratch; ExtraTrees bounds the
+	// added boosting budget (default 400).
+	WarmFrom    string `json:"warm_from,omitempty"`
+	WarmVersion int    `json:"warm_version,omitempty"`
+	ExtraTrees  int    `json:"extra_trees,omitempty"`
+	// Quick shrinks every budget for smoke tests: ntrain 200, 120 trees,
+	// GA 20×10.
+	Quick bool `json:"quick,omitempty"`
+	// Explicit budget overrides (testing and CI).
+	HMTrees       int `json:"hm_trees,omitempty"`
+	GAPop         int `json:"ga_pop,omitempty"`
+	GAGenerations int `json:"ga_generations,omitempty"`
+	// Parallelism bounds concurrent executions while collecting
+	// (0 = GOMAXPROCS). Results are identical for any value.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Progress is a job's live phase/counter state.
+type Progress struct {
+	Phase string `json:"phase,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+}
+
+// Job is one unit of daemon work, persisted as jobs/<id>.json on every
+// state transition so a restarted daemon re-adopts its queue.
+type Job struct {
+	ID          int64           `json:"id"`
+	Spec        JobSpec         `json:"spec"`
+	State       string          `json:"state"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Progress    Progress        `json:"progress"`
+	CreatedUnix int64           `json:"created_unix"`
+	UpdatedUnix int64           `json:"updated_unix"`
+}
+
+// Manager owns the daemon's job queue: a bounded worker pool executing
+// jobs over the core pipeline, with every state transition persisted.
+// Restarting a Manager over the same data directory re-enqueues jobs
+// that were queued or running; an interrupted collect resumes from its
+// journal instead of re-running completed rows.
+type Manager struct {
+	dataDir string
+	models  *ModelRegistry
+	obs     *obs.Registry
+
+	mu      sync.Mutex
+	jobs    map[int64]*Job
+	cancels map[int64]context.CancelFunc
+	nextID  int64
+	caches  map[string]*ga.GenomeCache
+
+	queue      chan int64
+	wg         sync.WaitGroup
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	// testBatchHook, when non-nil, observes every journaled collect
+	// checkpoint (cumulative journaled row count). Tests use it to hold
+	// collect workers mid-sweep and exercise the restart path
+	// deterministically.
+	testBatchHook func(journaledRows int)
+}
+
+// NewManager opens the data directory, adopts any persisted jobs
+// (re-enqueueing unfinished ones in ID order), and starts workers
+// worker goroutines (min 1).
+func NewManager(dataDir string, workers int, reg *obs.Registry) (*Manager, error) {
+	for _, d := range []string{"jobs", "journals", "collect", "models"} {
+		if err := os.MkdirAll(filepath.Join(dataDir, d), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	models, err := NewModelRegistry(filepath.Join(dataDir, "models"))
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dataDir:    dataDir,
+		models:     models,
+		obs:        reg,
+		jobs:       make(map[int64]*Job),
+		cancels:    make(map[int64]context.CancelFunc),
+		caches:     make(map[string]*ga.GenomeCache),
+		queue:      make(chan int64, 4096),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+	}
+	resume, err := m.loadJobs()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, id := range resume {
+		m.queue <- id
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// loadJobs reads jobs/*.json, rebuilds the in-memory table, and returns
+// the IDs to re-enqueue (previously queued or running), ascending.
+func (m *Manager) loadJobs() ([]int64, error) {
+	entries, err := os.ReadDir(filepath.Join(m.dataDir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var resume []int64
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(m.dataDir, "jobs", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var j Job
+		if err := json.Unmarshal(b, &j); err != nil {
+			return nil, fmt.Errorf("serve: job file %s: %w", e.Name(), err)
+		}
+		if j.State == StateQueued || j.State == StateRunning {
+			// The previous daemon never finished this job; adopt it.
+			j.State = StateQueued
+			resume = append(resume, j.ID)
+			m.obs.Counter("serve.jobs.adopted").Inc()
+		}
+		m.jobs[j.ID] = &j
+		if j.ID >= m.nextID {
+			m.nextID = j.ID + 1
+		}
+	}
+	sort.Slice(resume, func(i, k int) bool { return resume[i] < resume[k] })
+	if m.nextID == 0 {
+		m.nextID = 1
+	}
+	return resume, nil
+}
+
+// Close stops accepting work, cancels running jobs, and waits for the
+// workers to exit. In-flight collect rows already journaled survive; the
+// jobs stay queued/running on disk and a new Manager re-adopts them.
+func (m *Manager) Close() {
+	m.rootCancel()
+	m.wg.Wait()
+}
+
+// Submit validates, persists, and enqueues a job, returning its ID.
+func (m *Manager) Submit(spec JobSpec) (int64, error) {
+	if err := validateSpec(spec); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	now := time.Now().Unix()
+	j := &Job{ID: id, Spec: spec, State: StateQueued, CreatedUnix: now, UpdatedUnix: now}
+	m.jobs[id] = j
+	err := m.persistLocked(j)
+	m.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case m.queue <- id:
+	default:
+		m.setState(id, StateFailed, "job queue full", nil)
+		return 0, fmt.Errorf("serve: job queue full")
+	}
+	m.obs.Counter("serve.jobs.submitted").Inc()
+	return id, nil
+}
+
+func validateSpec(spec JobSpec) error {
+	switch spec.Type {
+	case JobCollect, JobTrain, JobSearch, JobTune:
+	default:
+		return fmt.Errorf("serve: unknown job type %q (collect|train|search|tune)", spec.Type)
+	}
+	if spec.Type != JobTrain || spec.Workload != "" {
+		if _, err := workloads.ByAbbr(strings.ToUpper(spec.Workload)); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if spec.Type == JobTrain && spec.FromJob == 0 {
+		return fmt.Errorf("serve: train jobs need from_job (a finished collect job)")
+	}
+	if spec.Type == JobSearch && spec.Model == "" && spec.Workload == "" {
+		return fmt.Errorf("serve: search jobs need a model (or a workload to derive its name)")
+	}
+	if spec.Model != "" {
+		if err := validName(spec.Model); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the job.
+func (m *Manager) Get(id int64) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns copies of all jobs, ascending by ID.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel stops a queued or running job. Queued jobs flip straight to
+// cancelled; running jobs get their context cancelled and finish as
+// cancelled once the pipeline notices (collect notices at the next
+// checkpoint batch).
+func (m *Manager) Cancel(id int64) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("serve: job %d not found", id)
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateCancelled
+		j.UpdatedUnix = time.Now().Unix()
+		err := m.persistLocked(j)
+		m.mu.Unlock()
+		return err
+	case StateRunning:
+		cancel := m.cancels[id]
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		m.mu.Unlock()
+		return fmt.Errorf("serve: job %d already %s", id, j.State)
+	}
+}
+
+// Models exposes the registry (shared with the HTTP layer).
+func (m *Manager) Models() *ModelRegistry { return m.models }
+
+// cacheFor returns the shared GA genome cache for one (model version,
+// target size) — the only granularity at which genome fitness values are
+// interchangeable, since the cache key is the genome alone.
+func (m *Manager) cacheFor(model string, version int, dsizeMB float64) *ga.GenomeCache {
+	key := fmt.Sprintf("%s@v%d@%x", model, version, dsizeMB)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.caches[key]
+	if !ok {
+		c = ga.NewGenomeCache()
+		m.caches[key] = c
+	}
+	return c
+}
+
+func (m *Manager) persistLocked(j *Job) error {
+	path := filepath.Join(m.dataDir, "jobs", fmt.Sprintf("%d.json", j.ID))
+	return atomicWrite(path, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(j)
+	})
+}
+
+// setState transitions a job and persists it.
+func (m *Manager) setState(id int64, state, errMsg string, result any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	j.State = state
+	j.Error = errMsg
+	if result != nil {
+		if b, err := json.Marshal(result); err == nil {
+			j.Result = b
+		}
+	}
+	j.UpdatedUnix = time.Now().Unix()
+	m.persistLocked(j)
+}
+
+func (m *Manager) setProgress(id int64, p Progress) {
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		j.Progress = p
+	}
+	m.mu.Unlock()
+}
+
+// worker pulls job IDs off the queue until the manager closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.rootCtx.Done():
+			return
+		case id := <-m.queue:
+			m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job end to end, with a per-job cancel layered on
+// the manager's root context.
+func (m *Manager) runJob(id int64) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.State != StateQueued {
+		m.mu.Unlock()
+		return // cancelled while queued, or stale
+	}
+	ctx, cancel := context.WithCancel(m.rootCtx)
+	m.cancels[id] = cancel
+	j.State = StateRunning
+	j.UpdatedUnix = time.Now().Unix()
+	m.persistLocked(j)
+	spec := j.Spec
+	m.mu.Unlock()
+	defer func() {
+		cancel()
+		m.mu.Lock()
+		delete(m.cancels, id)
+		m.mu.Unlock()
+	}()
+
+	sp := m.obs.StartSpan("serve.job." + string(spec.Type))
+	result, err := m.execute(ctx, id, spec)
+	sp.End()
+
+	switch {
+	case err == nil:
+		m.obs.Counter("serve.jobs.done").Inc()
+		m.setState(id, StateDone, "", result)
+	case ctx.Err() != nil && m.rootCtx.Err() != nil:
+		// Daemon shutdown, not a user cancel: leave the job running on
+		// disk so the next daemon adopts and resumes it.
+		m.obs.Counter("serve.jobs.interrupted").Inc()
+	case ctx.Err() != nil:
+		m.obs.Counter("serve.jobs.cancelled").Inc()
+		m.setState(id, StateCancelled, err.Error(), nil)
+	default:
+		m.obs.Counter("serve.jobs.failed").Inc()
+		m.setState(id, StateFailed, err.Error(), nil)
+	}
+}
+
+// budgets resolves a spec's pipeline budgets: paper defaults, shrunk by
+// Quick, overridden by explicit values.
+func (spec JobSpec) budgets() (ntrain int, hmOpt hm.Options, gaOpt ga.Options) {
+	ntrain = 2000
+	hmOpt = hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5}
+	gaOpt = ga.Options{PopSize: 100, Generations: 100}
+	if spec.Quick {
+		ntrain = 200
+		hmOpt = hm.Options{Trees: 120, LearningRate: 0.1, TreeComplexity: 5}
+		gaOpt = ga.Options{PopSize: 20, Generations: 10}
+	}
+	if spec.NTrain > 0 {
+		ntrain = spec.NTrain
+	}
+	if spec.HMTrees > 0 {
+		hmOpt.Trees = spec.HMTrees
+	}
+	if spec.GAPop > 0 {
+		gaOpt.PopSize = spec.GAPop
+	}
+	if spec.GAGenerations > 0 {
+		gaOpt.Generations = spec.GAGenerations
+	}
+	return ntrain, hmOpt, gaOpt
+}
+
+func (spec JobSpec) seed() int64 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	return 1
+}
+
+// modelName is the registry entry a job writes or reads by default.
+func (spec JobSpec) modelName(w *workloads.Workload) string {
+	if spec.Model != "" {
+		return spec.Model
+	}
+	return strings.ToLower(w.Abbr)
+}
+
+// tunerFor mirrors the CLI's wiring exactly — same simulator seed
+// derivation, space, executor, and options — so a job's output matches
+// the equivalent `dac` invocation bit for bit.
+func (m *Manager) tunerFor(w *workloads.Workload, spec JobSpec) *core.Tuner {
+	ntrain, hmOpt, gaOpt := spec.budgets()
+	seed := spec.seed()
+	sim := sparksim.New(cluster.Standard(), seed+7)
+	sim.Instrument(m.obs)
+	return &core.Tuner{
+		Space: conf.StandardSpace(),
+		Exec:  core.NewSimExecutor(sim, &w.Program),
+		Opt: core.Options{
+			NTrain:      ntrain,
+			HM:          hmOpt,
+			GA:          gaOpt,
+			Parallelism: spec.Parallelism,
+			Seed:        seed,
+		},
+		Obs: m.obs,
+	}
+}
+
+// trainingRange is the CLI's collect range: slightly beyond Table 1.
+func trainingRange(w *workloads.Workload) (lo, hi float64) {
+	return w.InputMB(w.Sizes[0]) * 0.8, w.InputMB(w.Sizes[len(w.Sizes)-1]) * 1.1
+}
+
+func (spec JobSpec) targetMB(w *workloads.Workload) float64 {
+	units := spec.Size
+	if units == 0 {
+		units = w.Sizes[len(w.Sizes)/2]
+	}
+	return w.InputMB(units)
+}
+
+// execute dispatches one job to its pipeline slice.
+func (m *Manager) execute(ctx context.Context, id int64, spec JobSpec) (any, error) {
+	switch spec.Type {
+	case JobCollect:
+		return m.runCollect(ctx, id, spec)
+	case JobTrain:
+		return m.runTrain(ctx, id, spec)
+	case JobSearch:
+		return m.runSearch(ctx, id, spec)
+	case JobTune:
+		return m.runTune(ctx, id, spec)
+	}
+	return nil, fmt.Errorf("serve: unknown job type %q", spec.Type)
+}
+
+// collectDurable runs the journal-backed collect sweep for a job: known
+// rows replay from the journal, fresh batches append to it before they
+// count as done. Returns the finished set.
+func (m *Manager) collectDurable(ctx context.Context, id int64, spec JobSpec, t *core.Tuner, w *workloads.Workload) (*dataset.Set, core.Overhead, error) {
+	lo, hi := trainingRange(w)
+	sizes := t.TrainingSizesMB(lo, hi)
+	jp := filepath.Join(m.dataDir, "journals", fmt.Sprintf("job-%d.journal", id))
+	jl, err := OpenJournal(jp, MetaHash(w.Abbr, t.Opt.Seed, t.Opt.NTrain, sizes))
+	if err != nil {
+		return nil, core.Overhead{}, err
+	}
+	defer jl.Close()
+	if n := jl.Rows(); n > 0 {
+		m.obs.Counter("serve.collect.resumed.rows").Add(int64(n))
+	}
+	var appendErr error
+	var appendMu sync.Mutex
+	set, ov, err := t.CollectResumable(ctx, sizes, core.CollectHooks{
+		Known: jl.Known,
+		OnBatch: func(rows []core.RowTime) {
+			if err := jl.Append(rows); err != nil {
+				appendMu.Lock()
+				if appendErr == nil {
+					appendErr = err
+				}
+				appendMu.Unlock()
+			}
+			m.obs.Counter("serve.collect.checkpoints").Inc()
+			if m.testBatchHook != nil {
+				m.testBatchHook(jl.Rows())
+			}
+		},
+		Progress: func(done, total int) {
+			m.setProgress(id, Progress{Phase: "collect", Done: done, Total: total})
+		},
+	})
+	if err != nil {
+		return nil, core.Overhead{}, err
+	}
+	if appendErr != nil {
+		return nil, core.Overhead{}, fmt.Errorf("serve: journal append: %w", appendErr)
+	}
+	return set, ov, nil
+}
+
+func (m *Manager) collectCSVPath(id int64) string {
+	return filepath.Join(m.dataDir, "collect", fmt.Sprintf("job-%d.csv", id))
+}
+
+func (m *Manager) runCollect(ctx context.Context, id int64, spec JobSpec) (any, error) {
+	w, err := workloads.ByAbbr(strings.ToUpper(spec.Workload))
+	if err != nil {
+		return nil, err
+	}
+	t := m.tunerFor(w, spec)
+	set, ov, err := m.collectDurable(ctx, id, spec, t, w)
+	if err != nil {
+		return nil, err
+	}
+	csvPath := m.collectCSVPath(id)
+	if err := atomicWrite(csvPath, func(f *os.File) error { return set.WriteCSV(f) }); err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"rows":          set.Len(),
+		"cluster_hours": ov.CollectClusterHours,
+		"csv":           csvPath,
+	}, nil
+}
+
+func (m *Manager) runTrain(ctx context.Context, id int64, spec JobSpec) (any, error) {
+	src, ok := m.Get(spec.FromJob)
+	if !ok {
+		return nil, fmt.Errorf("serve: from_job %d not found", spec.FromJob)
+	}
+	if src.State != StateDone || src.Spec.Type != JobCollect {
+		return nil, fmt.Errorf("serve: from_job %d is not a finished collect job", spec.FromJob)
+	}
+	f, err := os.Open(m.collectCSVPath(spec.FromJob))
+	if err != nil {
+		return nil, err
+	}
+	set, err := dataset.ReadCSV(f, conf.StandardSpace())
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.setProgress(id, Progress{Phase: "train"})
+
+	_, hmOpt, _ := spec.budgets()
+	hmOpt.Seed = spec.seed()
+	hmOpt.Obs = m.obs
+	name := spec.Model
+	if name == "" {
+		name = strings.ToLower(src.Spec.Workload)
+	}
+	meta := ModelMeta{
+		Workload:    strings.ToUpper(src.Spec.Workload),
+		Seed:        hmOpt.Seed,
+		NTrain:      set.Len(),
+		Job:         id,
+		CreatedUnix: time.Now().Unix(),
+	}
+
+	var mdl *hm.Model
+	if spec.WarmFrom != "" {
+		// Warm start: continue a registered model's boosting trajectory
+		// (and, if it still misses the accuracy target, its hierarchical
+		// recursion) instead of refitting from scratch.
+		base, baseMeta, err := m.models.Load(spec.WarmFrom, spec.WarmVersion)
+		if err != nil {
+			return nil, err
+		}
+		extra := spec.ExtraTrees
+		if extra <= 0 {
+			extra = 400
+		}
+		if err := hm.Resume(base, set.ToDataset(), hmOpt, extra); err != nil {
+			return nil, err
+		}
+		mdl = base
+		meta.WarmFrom = fmt.Sprintf("%s@v%d", baseMeta.Name, baseMeta.Version)
+		m.obs.Counter("serve.models.warmstarts").Inc()
+	} else {
+		mdl, err = hm.Train(set.ToDataset(), hmOpt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	version, err := m.models.Save(name, mdl, meta)
+	if err != nil {
+		return nil, err
+	}
+	m.obs.Counter("serve.models.saved").Inc()
+	return map[string]any{
+		"model":   name,
+		"version": version,
+		"order":   mdl.Order,
+		"val_err": mdl.ValErr,
+		"trees":   mdl.NumTrees(),
+	}, nil
+}
+
+func (m *Manager) runSearch(ctx context.Context, id int64, spec JobSpec) (any, error) {
+	w, err := workloads.ByAbbr(strings.ToUpper(spec.Workload))
+	if err != nil {
+		return nil, err
+	}
+	mdl, meta, err := m.models.Load(spec.modelName(w), spec.ModelVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	targetMB := spec.targetMB(w)
+	m.setProgress(id, Progress{Phase: "search"})
+	t := m.tunerFor(w, spec)
+	// Identical (model version, dsize) searches share genome fitness
+	// values: repeated idempotent search traffic replays instead of
+	// re-evaluating.
+	t.Opt.GA.Cache = m.cacheFor(meta.Name, meta.Version, targetMB)
+	cfg, pred, gaRes, _, err := t.Search(mdl, targetMB, nil)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"model":          meta.Name,
+		"model_version":  meta.Version,
+		"target_mb":      targetMB,
+		"best":           configMap(cfg),
+		"vector":         cfg.Vector(),
+		"predicted_sec":  pred,
+		"ga_evaluations": gaRes.Evaluations,
+		"ga_cache_hits":  gaRes.CacheHits,
+		"ga_converged":   gaRes.Converged,
+	}, nil
+}
+
+func (m *Manager) runTune(ctx context.Context, id int64, spec JobSpec) (any, error) {
+	w, err := workloads.ByAbbr(strings.ToUpper(spec.Workload))
+	if err != nil {
+		return nil, err
+	}
+	t := m.tunerFor(w, spec)
+	set, ovC, err := m.collectDurable(ctx, id, spec, t, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	targetMB := spec.targetMB(w)
+	res, err := t.TuneCollected(set, ovC, []float64{targetMB}, func(phase string, done, total int) {
+		m.setProgress(id, Progress{Phase: phase, Done: done, Total: total})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := map[string]any{
+		"workload":      w.Abbr,
+		"target_mb":     targetMB,
+		"best":          configMap(res.Best[targetMB]),
+		"vector":        res.Best[targetMB].Vector(),
+		"predicted_sec": res.PredictedSec[targetMB],
+		"cluster_hours": res.Overhead.CollectClusterHours,
+	}
+	// Register the tuned model so later search jobs (and warm starts)
+	// reuse it without paying the collect again.
+	if hmModel, ok := res.Model.(*hm.Model); ok {
+		name := spec.modelName(w)
+		version, err := m.models.Save(name, hmModel, ModelMeta{
+			Workload:    w.Abbr,
+			Seed:        spec.seed(),
+			NTrain:      set.Len(),
+			Job:         id,
+			CreatedUnix: time.Now().Unix(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.obs.Counter("serve.models.saved").Inc()
+		out["model"] = name
+		out["model_version"] = version
+	}
+	return out, nil
+}
+
+// configMap renders a configuration as {param: value} for JSON clients.
+func configMap(cfg conf.Config) map[string]float64 {
+	space := cfg.Space()
+	out := make(map[string]float64, space.Len())
+	for i, name := range space.Names() {
+		out[name] = cfg.At(i)
+	}
+	return out
+}

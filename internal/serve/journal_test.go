@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	meta := MetaHash("TS", 1, 100, []float64{10, 20.5})
+	j, err := OpenJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []core.RowTime{
+		{Index: 0, TimeSec: 12.25},
+		{Index: 3, TimeSec: 0.0000123456789012345},
+		{Index: 7, TimeSec: 99999.125},
+	}
+	if err := j.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]core.RowTime{{Index: 1, TimeSec: 7.5}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	re, err := OpenJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Rows() != 4 {
+		t.Fatalf("reopened journal has %d rows, want 4", re.Rows())
+	}
+	for _, r := range rows {
+		sec, ok := re.Known(r.Index)
+		if !ok || sec != r.TimeSec {
+			t.Fatalf("row %d: got (%v,%v), want (%v,true) — times must round-trip exactly", r.Index, sec, ok, r.TimeSec)
+		}
+	}
+	if _, ok := re.Known(2); ok {
+		t.Fatal("row 2 was never journaled")
+	}
+}
+
+func TestJournalRejectsForeignSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, MetaHash("TS", 1, 100, []float64{10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Same file, different sweep parameters: must refuse, not splice.
+	for _, meta := range []string{
+		MetaHash("TS", 2, 100, []float64{10}),  // different seed
+		MetaHash("TS", 1, 101, []float64{10}),  // different ntrain
+		MetaHash("TS", 1, 100, []float64{11}),  // different sizes
+		MetaHash("WC", 1, 100, []float64{10}),  // different workload
+	} {
+		if _, err := OpenJournal(path, meta); err == nil {
+			t.Fatalf("journal for %s opened against a foreign sweep", meta)
+		}
+	}
+}
+
+// TestJournalTornTail pins SIGKILL recovery: a partial trailing line —
+// whatever a dying process managed to flush — is truncated on open, and
+// every record before it survives. Appending afterwards produces a clean
+// journal again.
+func TestJournalTornTail(t *testing.T) {
+	meta := MetaHash("TS", 1, 100, []float64{10})
+	for _, tail := range []string{
+		"r,9",                     // torn mid-index
+		"r,9,3.25",                // torn before the CRC
+		"r,9,3.25,00",             // torn mid-CRC
+		"r,9,3.25,deadbeef",       // complete line, wrong CRC
+		"r,9,3.2X5,0a0a0a0a",      // unparseable time
+		"garbage line",            // not a record at all
+		strings.Repeat("x", 4096), // long junk
+	} {
+		path := filepath.Join(t.TempDir(), "j.journal")
+		j, err := OpenJournal(path, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append([]core.RowTime{{Index: 4, TimeSec: 2.5}, {Index: 5, TimeSec: 3.5}}); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString(tail)
+		f.Close()
+
+		re, err := OpenJournal(path, meta)
+		if err != nil {
+			t.Fatalf("tail %q: reopen failed: %v", tail, err)
+		}
+		if re.Rows() != 2 {
+			t.Fatalf("tail %q: %d rows survived, want 2", tail, re.Rows())
+		}
+		if sec, ok := re.Known(5); !ok || sec != 3.5 {
+			t.Fatalf("tail %q: row 5 lost", tail)
+		}
+		if _, ok := re.Known(9); ok {
+			t.Fatalf("tail %q: torn row 9 was accepted", tail)
+		}
+		// The journal must be usable (and clean) after truncation.
+		if err := re.Append([]core.RowTime{{Index: 9, TimeSec: 4.5}}); err != nil {
+			t.Fatal(err)
+		}
+		re.Close()
+		re2, err := OpenJournal(path, meta)
+		if err != nil {
+			t.Fatalf("tail %q: reopen after repair failed: %v", tail, err)
+		}
+		if re2.Rows() != 3 {
+			t.Fatalf("tail %q: %d rows after repair, want 3", tail, re2.Rows())
+		}
+		re2.Close()
+	}
+}
+
+func TestJournalEmptyFileGetsHeader(t *testing.T) {
+	// A crash between create and header write leaves an empty file; a
+	// reopen must initialize it rather than fail.
+	path := filepath.Join(t.TempDir(), "j.journal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta := MetaHash("TS", 1, 10, []float64{10})
+	j, err := OpenJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]core.RowTime{{Index: 0, TimeSec: 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	re, err := OpenJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Rows() != 1 {
+		t.Fatalf("rows = %d, want 1", re.Rows())
+	}
+	re.Close()
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/hm"
+)
+
+// ModelMeta describes one registry entry: where the model came from and
+// how good it is, stored as v<N>.json beside the v<N>.model snapshot.
+type ModelMeta struct {
+	Name        string  `json:"name"`
+	Version     int     `json:"version"`
+	Workload    string  `json:"workload,omitempty"`
+	Seed        int64   `json:"seed"`
+	NTrain      int     `json:"ntrain,omitempty"`
+	Trees       int     `json:"trees"`
+	Order       int     `json:"order"`
+	ValErr      float64 `json:"val_err"`
+	Job         int64   `json:"job,omitempty"`
+	WarmFrom    string  `json:"warm_from,omitempty"`
+	CreatedUnix int64   `json:"created_unix"`
+}
+
+// ModelRegistry is the daemon's versioned model store. Layout:
+//
+//	<dir>/<name>/v<N>.model   — hm snapshot (v2 format: edges + bin codes,
+//	                            so a loaded model warm-starts through
+//	                            hm.Resume's binned replay)
+//	<dir>/<name>/v<N>.json    — ModelMeta
+//
+// Versions are monotonically increasing per name; Save never overwrites.
+// Writes go through a temp file + rename, so a crash mid-save leaves at
+// worst an orphaned .tmp, never a half-written version.
+type ModelRegistry struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewModelRegistry opens (creating if needed) the registry rooted at dir.
+func NewModelRegistry(dir string) (*ModelRegistry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &ModelRegistry{dir: dir}, nil
+}
+
+// validName keeps registry names shell- and path-safe.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("serve: model name %q: use lowercase letters, digits, '-', '_'", name)
+		}
+	}
+	return nil
+}
+
+// Save persists m as the next version of name and returns that version.
+func (r *ModelRegistry) Save(name string, m *hm.Model, meta ModelMeta) (int, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dir := filepath.Join(r.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	versions, err := r.versionsLocked(name)
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	meta.Name = name
+	meta.Version = next
+	meta.Trees = m.NumTrees()
+	meta.Order = m.Order
+	meta.ValErr = m.ValErr
+
+	mp := filepath.Join(dir, fmt.Sprintf("v%d.model", next))
+	if err := atomicWrite(mp, func(f *os.File) error { return m.Save(f) }); err != nil {
+		return 0, err
+	}
+	jp := filepath.Join(dir, fmt.Sprintf("v%d.json", next))
+	if err := atomicWrite(jp, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(meta)
+	}); err != nil {
+		os.Remove(mp)
+		return 0, err
+	}
+	return next, nil
+}
+
+// Load reads one model version; version 0 selects the latest.
+func (r *ModelRegistry) Load(name string, version int) (*hm.Model, ModelMeta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := validName(name); err != nil {
+		return nil, ModelMeta{}, err
+	}
+	if version == 0 {
+		versions, err := r.versionsLocked(name)
+		if err != nil {
+			return nil, ModelMeta{}, err
+		}
+		if len(versions) == 0 {
+			return nil, ModelMeta{}, fmt.Errorf("serve: model %q not found", name)
+		}
+		version = versions[len(versions)-1]
+	}
+	dir := filepath.Join(r.dir, name)
+	f, err := os.Open(filepath.Join(dir, fmt.Sprintf("v%d.model", version)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ModelMeta{}, fmt.Errorf("serve: model %s@v%d not found", name, version)
+		}
+		return nil, ModelMeta{}, err
+	}
+	m, err := hm.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, ModelMeta{}, fmt.Errorf("serve: model %s@v%d: %w", name, version, err)
+	}
+	meta, err := readMeta(filepath.Join(dir, fmt.Sprintf("v%d.json", version)))
+	if err != nil {
+		return nil, ModelMeta{}, err
+	}
+	return m, meta, nil
+}
+
+// Versions returns the metadata of every version of name, ascending.
+func (r *ModelRegistry) Versions(name string) ([]ModelMeta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	nums, err := r.versionsLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ModelMeta, 0, len(nums))
+	for _, v := range nums {
+		meta, err := readMeta(filepath.Join(r.dir, name, fmt.Sprintf("v%d.json", v)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, meta)
+	}
+	return out, nil
+}
+
+// List returns the latest version of every model in the registry, sorted
+// by name.
+func (r *ModelRegistry) List() ([]ModelMeta, error) {
+	r.mu.Lock()
+	names, err := os.ReadDir(r.dir)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	var out []ModelMeta
+	for _, e := range names {
+		if !e.IsDir() {
+			continue
+		}
+		vs, err := r.Versions(e.Name())
+		if err != nil || len(vs) == 0 {
+			continue
+		}
+		out = append(out, vs[len(vs)-1])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// versionsLocked scans name's directory for v<N>.model files.
+func (r *ModelRegistry) versionsLocked(name string) ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(r.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var nums []int
+	for _, e := range entries {
+		n := e.Name()
+		if !strings.HasPrefix(n, "v") || !strings.HasSuffix(n, ".model") {
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(n, "v"), ".model"))
+		if err != nil || v <= 0 {
+			continue
+		}
+		nums = append(nums, v)
+	}
+	sort.Ints(nums)
+	return nums, nil
+}
+
+func readMeta(path string) (ModelMeta, error) {
+	var meta ModelMeta
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return meta, err
+	}
+	return meta, json.Unmarshal(b, &meta)
+}
+
+// atomicWrite writes via fill to a temp file in path's directory, then
+// renames it into place.
+func atomicWrite(path string, fill func(*os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hm"
+	"repro/internal/model"
+)
+
+// registryDS builds a small synthetic dataset for registry tests.
+func registryDS(n int, seed int64) *model.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := model.NewDataset([]string{"a", "b", "dsize"})
+	for i := 0; i < n; i++ {
+		a, b, d := rng.Float64()*10, rng.Float64()*5, 10+rng.Float64()*90
+		ds.Add([]float64{a, b, d}, 5+2*a+a*b+0.1*d+rng.NormFloat64()*0.2)
+	}
+	return ds
+}
+
+func trainSmall(t *testing.T, seed int64) *hm.Model {
+	t.Helper()
+	m, err := hm.Train(registryDS(400, seed), hm.Options{Trees: 40, LearningRate: 0.1, TreeComplexity: 5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	reg, err := NewModelRegistry(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := trainSmall(t, 1), trainSmall(t, 2)
+	v1, err := reg.Save("ts", m1, ModelMeta{Workload: "TS", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Save("ts", m2, ModelMeta{Workload: "TS", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions %d,%d, want 1,2", v1, v2)
+	}
+
+	// Latest (version 0) must be the second model, bit-identical.
+	got, meta, err := reg.Load("ts", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 || meta.Seed != 2 {
+		t.Fatalf("latest meta = v%d seed %d, want v2 seed 2", meta.Version, meta.Seed)
+	}
+	probe := registryDS(50, 9)
+	for i, x := range probe.Features {
+		if a, b := got.Predict(x), m2.Predict(x); a != b {
+			t.Fatalf("probe %d: reloaded latest predicts %v, trained %v", i, a, b)
+		}
+	}
+	old, meta1, err := reg.Load("ts", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta1.Seed != 1 {
+		t.Fatalf("v1 meta seed %d, want 1", meta1.Seed)
+	}
+	for i, x := range probe.Features {
+		if a, b := old.Predict(x), m1.Predict(x); a != b {
+			t.Fatalf("probe %d: v1 drifted after v2 landed: %v vs %v", i, a, b)
+		}
+	}
+
+	versions, err := reg.Versions("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0].Version != 1 || versions[1].Version != 2 {
+		t.Fatalf("versions = %+v", versions)
+	}
+	if versions[0].Trees != m1.NumTrees() || versions[0].ValErr != m1.ValErr {
+		t.Fatal("meta did not capture the model's trees/valerr")
+	}
+}
+
+func TestRegistryListAndMissing(t *testing.T) {
+	reg, err := NewModelRegistry(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Load("nope", 0); err == nil {
+		t.Fatal("loading a missing model should fail")
+	}
+	if _, _, err := reg.Load("nope", 3); err == nil {
+		t.Fatal("loading a missing version should fail")
+	}
+	if _, err := reg.Save("Bad Name", trainSmall(t, 1), ModelMeta{}); err == nil {
+		t.Fatal("uppercase/space model names should be rejected")
+	}
+	if _, err := reg.Save("../escape", trainSmall(t, 1), ModelMeta{}); err == nil {
+		t.Fatal("path-traversal names should be rejected")
+	}
+
+	reg.Save("beta", trainSmall(t, 1), ModelMeta{})
+	reg.Save("alpha", trainSmall(t, 2), ModelMeta{})
+	reg.Save("alpha", trainSmall(t, 3), ModelMeta{})
+	list, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Name != "alpha" || list[1].Name != "beta" {
+		t.Fatalf("list = %+v", list)
+	}
+	if list[0].Version != 2 {
+		t.Fatalf("alpha latest = v%d, want v2", list[0].Version)
+	}
+}
+
+// TestRegistryWarmStart pins the registry's reason to exist beyond
+// storage: a loaded model continues training through hm.Resume exactly
+// as the never-persisted original would (the v2 snapshot keeps the
+// binned form), and re-registering lands a new version.
+func TestRegistryWarmStart(t *testing.T) {
+	reg, err := NewModelRegistry(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := registryDS(500, 11)
+	opt := hm.Options{Trees: 40, LearningRate: 0.1, TreeComplexity: 5, Seed: 11}
+	orig, err := hm.Train(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Save("warm", orig, ModelMeta{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := reg.Load("warm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hm.Resume(orig, ds, opt, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := hm.Resume(loaded, ds, opt, 25); err != nil {
+		t.Fatal(err)
+	}
+	probe := registryDS(60, 12)
+	for i, x := range probe.Features {
+		if a, b := orig.Predict(x), loaded.Predict(x); a != b {
+			t.Fatalf("probe %d: warm start from registry diverged: %v vs %v", i, a, b)
+		}
+	}
+	v, err := reg.Save("warm", loaded, ModelMeta{Seed: 11, WarmFrom: "warm@v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("warm-started model registered as v%d, want v2", v)
+	}
+}

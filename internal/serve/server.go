@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// Server is the dacd HTTP front end: a JSON API over a Manager and its
+// model registry.
+//
+//	POST /jobs                      submit a JobSpec        → {"id": N}
+//	GET  /jobs                      list jobs
+//	GET  /jobs/{id}                 one job (state, progress, result)
+//	POST /jobs/{id}/cancel          cancel a queued/running job
+//	GET  /models                    latest version of every model
+//	GET  /models/{name}             every version's metadata
+//	POST /models/{name}/predict     predict a config's time  → {"predicted_sec": s}
+//	GET  /metrics                   obs registry as JSON
+//	GET  /healthz                   liveness
+type Server struct {
+	manager *Manager
+	obs     *obs.Registry
+	mux     *http.ServeMux
+}
+
+// NewServer opens dataDir (creating the layout if needed), adopts
+// persisted jobs, and starts the worker pool. reg may be nil to run
+// without metrics; /metrics then reports an empty registry.
+func NewServer(dataDir string, workers int, reg *obs.Registry) (*Server, error) {
+	mgr, err := NewManager(dataDir, workers, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{manager: mgr, obs: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /models", s.handleListModels)
+	s.mux.HandleFunc("GET /models/{name}", s.handleGetModel)
+	s.mux.HandleFunc("POST /models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Manager exposes the job manager (tests and the CLI use it directly).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Close shuts the worker pool down; see Manager.Close for durability.
+func (s *Server) Close() { s.manager.Close() }
+
+// Handler returns the HTTP handler with request metrics wrapped around
+// the route table.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := s.obs.StartSpan("serve.http")
+		defer sp.End()
+		s.obs.Counter("serve.http.requests").Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	id, err := s.manager.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.manager.List()})
+}
+
+func jobID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id"))
+		return
+	}
+	j, ok := s.manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %d not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id"))
+		return
+	}
+	if err := s.manager.Cancel(id); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelling": true})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	list, err := s.manager.Models().List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": list})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	versions, err := s.manager.Models().Versions(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(versions) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "versions": versions})
+}
+
+// predictRequest asks a registered model for a prediction. The
+// configuration starts from the space default; Config overrides
+// individual parameters by name. The datasize is given in MB, or in the
+// workload's units when Workload is set.
+type predictRequest struct {
+	Version   int                `json:"version,omitempty"` // 0 = latest
+	DsizeMB   float64            `json:"dsize_mb,omitempty"`
+	Workload  string             `json:"workload,omitempty"`
+	SizeUnits float64            `json:"size,omitempty"`
+	Config    map[string]float64 `json:"config,omitempty"`
+	Vector    []float64          `json:"vector,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding predict request: %w", err))
+		return
+	}
+	mdl, meta, err := s.manager.Models().Load(name, req.Version)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	space := conf.StandardSpace()
+	var cfg conf.Config
+	if req.Vector != nil {
+		cfg, err = space.FromVector(req.Vector)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		cfg = space.Default()
+		for k, v := range req.Config {
+			if _, ok := space.Index(k); !ok {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown parameter %q", k))
+				return
+			}
+			cfg = cfg.Set(k, v)
+		}
+	}
+	dsize := req.DsizeMB
+	if req.Workload != "" {
+		wl, err := workloads.ByAbbr(strings.ToUpper(req.Workload))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		units := req.SizeUnits
+		if units == 0 {
+			units = wl.Sizes[len(wl.Sizes)/2]
+		}
+		dsize = wl.InputMB(units)
+	}
+	if dsize <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need dsize_mb or workload+size"))
+		return
+	}
+	x := append(cfg.Vector(), dsize)
+	s.obs.Counter("serve.predicts").Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":         meta.Name,
+		"version":       meta.Version,
+		"dsize_mb":      dsize,
+		"predicted_sec": mdl.Predict(x),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}

@@ -89,6 +89,54 @@ func TestRunBatchConcurrentCallers(t *testing.T) {
 	}
 }
 
+// TestRunBatchIntoMatchesRunBatch pins the storage-reuse contract: a
+// RunBatchInto call must produce, per pair, exactly the Result RunBatch
+// produces — including when the destination slice is recycled across
+// batches of different programs and sizes, which exercises the
+// stale-field and Stages-reuse reset paths.
+func TestRunBatchIntoMatchesRunBatch(t *testing.T) {
+	sim := newTestSim()
+	p := testProgram()
+	const n = 48
+	pairs := randomPairs(n, 83)
+	want := sim.RunBatch(p, pairs)
+
+	// Fresh storage.
+	got := sim.RunBatchInto(p, pairs, nil)
+	if len(got) != n {
+		t.Fatalf("RunBatchInto returned %d results for %d pairs", len(got), n)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(&got[i], want[i]) {
+			t.Fatalf("pair %d: RunBatchInto diverged from RunBatch\ninto:  %+v\nbatch: %+v",
+				i, &got[i], want[i])
+		}
+	}
+
+	// Recycled storage: run a different workload into the same slice, then
+	// the original pairs again — any stale field or unreset stage would
+	// surface as a diff against the reference.
+	skewed := &Program{
+		Name: "skewed-into",
+		Stages: []Stage{
+			{Name: "map", InputFrac: 1, CPUSecPerMB: 0.2, MemExpansion: 1, SkewFactor: 6},
+			{Name: "agg", InputFrac: 0, ShuffleInFrac: 0.4, CPUSecPerMB: 0.1, MemExpansion: 1, ReadsShuffle: true},
+		},
+	}
+	got = sim.RunBatchInto(skewed, pairs[:n/2], got)
+	for i, r := range sim.RunBatch(skewed, pairs[:n/2]) {
+		if !reflect.DeepEqual(&got[i], r) {
+			t.Fatalf("skewed pair %d: recycled RunBatchInto diverged", i)
+		}
+	}
+	got = sim.RunBatchInto(p, pairs, got)
+	for i := range want {
+		if !reflect.DeepEqual(&got[i], want[i]) {
+			t.Fatalf("pair %d: RunBatchInto over recycled storage diverged from RunBatch", i)
+		}
+	}
+}
+
 // TestSpeculativeCopiesCountAsLaunches pins the launch accounting: a
 // speculative copy is a task attempt the cluster actually ran, so enabling
 // speculation on a skewed stage must raise TasksLaunched above the

@@ -122,9 +122,43 @@ func (sim *Simulator) RunBatch(p *Program, pairs []RunSpec) []*Result {
 	return out
 }
 
+// RunBatchInto is RunBatch writing into caller-owned Result storage: out
+// is grown to len(pairs) results and returned, and each element's Stages
+// slice is reused when its capacity allows, so a caller that keeps the
+// returned slice across batches (the collecting sweep) pays no per-run
+// Result allocation after the first batch. Every field of every reused
+// element is reinitialized before use, so results are bit-identical to
+// RunBatch's for the same pairs. Distinct out slices may be used from
+// several goroutines at once.
+func (sim *Simulator) RunBatchInto(p *Program, pairs []RunSpec, out []Result) []Result {
+	if err := p.Validate(); err != nil {
+		panic(err) // programs are compile-time constants in this module
+	}
+	if cap(out) < len(pairs) {
+		grown := make([]Result, len(pairs))
+		copy(grown, out[:cap(out)]) // keep the recyclable Stages slices
+		out = grown
+	}
+	out = out[:len(pairs)]
+	sc := newRunScratch()
+	nameHash := fnvString(p.Name)
+	for i, pr := range pairs {
+		sim.runOneInto(&out[i], p, pr.InputMB, pr.Cfg, sc, nameHash)
+	}
+	return out
+}
+
 // runOne executes one simulated run against a caller-owned scratch.
 // nameHash is fnvString(p.Name), computed once per batch.
 func (sim *Simulator) runOne(p *Program, inputMB float64, cfg conf.Config, sc *runScratch, nameHash uint64) *Result {
+	res := new(Result)
+	sim.runOneInto(res, p, inputMB, cfg, sc, nameHash)
+	return res
+}
+
+// runOneInto executes one simulated run, overwriting every field of the
+// caller-owned res (its Stages slice is reused when large enough).
+func (sim *Simulator) runOneInto(res *Result, p *Program, inputMB float64, cfg conf.Config, sc *runScratch, nameHash uint64) {
 	var t0 time.Time
 	if sim.metrics != nil {
 		t0 = time.Now()
@@ -134,10 +168,19 @@ func (sim *Simulator) runOne(p *Program, inputMB float64, cfg conf.Config, sc *r
 	rng := sc.rng
 	rng.Seed(sim.runSeed(nameHash, inputMB, cfg))
 
-	res := &Result{
+	stages := res.Stages
+	if cap(stages) >= len(p.Stages) {
+		stages = stages[:len(p.Stages)]
+		for i := range stages {
+			stages[i] = StageResult{}
+		}
+	} else {
+		stages = make([]StageResult, len(p.Stages))
+	}
+	*res = Result{
 		Executors: e.executors,
 		Slots:     e.slots,
-		Stages:    make([]StageResult, len(p.Stages)),
+		Stages:    stages,
 	}
 	maxFail := cfg.GetInt(conf.TaskMaxFailures)
 
@@ -190,7 +233,6 @@ func (sim *Simulator) runOne(p *Program, inputMB float64, cfg conf.Config, sc *r
 	if m := sim.metrics; m != nil {
 		m.record(res, stageExecs, spillEvents, time.Since(t0).Seconds())
 	}
-	return res
 }
 
 // FNV-1a constants (hash/fnv's 64a variant). The seed derivation inlines
