@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/backends"
 	"repro/internal/cluster"
 	"repro/internal/conf"
 	"repro/internal/ga"
@@ -33,11 +34,14 @@ type benchResult struct {
 // while ga_search and predict_batch gain from cache locality and the
 // genome memo cache regardless of core count.
 type benchReport struct {
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"numcpu"`
-	GoVersion  string        `json:"go_version"`
-	Quick      bool          `json:"quick"`
-	Results    []benchResult `json:"results"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+	Quick      bool   `json:"quick"`
+	// Model is the backend the predict_batch and ga_search pairs query
+	// (-model flag; default hm).
+	Model   string        `json:"model"`
+	Results []benchResult `json:"results"`
 }
 
 // benchDataset builds the synthetic regression problem the benchmarks
@@ -60,9 +64,11 @@ func benchDataset(n, d int, seed int64) *model.Dataset {
 	return ds
 }
 
-// benchSpaceModel trains the HM model the predict and GA benchmarks
-// query, over the standard configuration space.
-func benchSpaceModel(trees int, window int) *hm.Model {
+// benchSpaceModel trains the model the predict and GA benchmarks query,
+// over the standard configuration space. The hm default keeps its
+// convergence knobs; other backends train through the registry with
+// their own defaults.
+func benchSpaceModel(backendName string, trees int, window int, quick bool) (model.Model, error) {
 	space := conf.StandardSpace()
 	rng := rand.New(rand.NewSource(1))
 	ds := model.NewDataset(nil)
@@ -74,12 +80,15 @@ func benchSpaceModel(trees int, window int) *hm.Model {
 		}
 		ds.Add(x, t*(1+0.05*rng.NormFloat64()))
 	}
-	m, err := hm.Train(ds, hm.Options{Trees: trees, LearningRate: 0.05, TreeComplexity: 5,
-		TargetAccuracy: 0.999, ConvergeWindow: window, Seed: 1})
-	if err != nil {
-		panic(err)
+	if backendName == "hm" {
+		return hm.Train(ds, hm.Options{Trees: trees, LearningRate: 0.05, TreeComplexity: 5,
+			TargetAccuracy: 0.999, ConvergeWindow: window, Seed: 1})
 	}
-	return m
+	b, err := backends.Default().Lookup(backendName)
+	if err != nil {
+		return nil, err
+	}
+	return b.Train(ds, model.TrainOpts{Seed: 1, Quick: quick})
 }
 
 // runPair benchmarks the serial reference against the optimized path.
@@ -103,6 +112,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonPath := fs.String("json", "", "write results as JSON (e.g. BENCH_model.json)")
 	quick := fs.Bool("quick", false, "small problem sizes (CI smoke run)")
+	backendName := fs.String("model", "hm", "model backend the predict/search pairs query (hm|rf|rs|ann|svm)")
 	pf := addProfFlags(fs)
 	fs.Parse(args)
 	stop, err := pf.start()
@@ -127,8 +137,10 @@ func cmdBench(args []string) error {
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Quick:      *quick,
+		Model:      *backendName,
 	}
-	fmt.Printf("GOMAXPROCS=%d numcpu=%d %s quick=%v\n", rep.GOMAXPROCS, rep.NumCPU, rep.GoVersion, *quick)
+	fmt.Printf("GOMAXPROCS=%d numcpu=%d %s quick=%v model=%s\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.GoVersion, *quick, rep.Model)
 
 	hmDS := benchDataset(2000, 42, 1)
 	hmOpt := hm.Options{Trees: hmTrees, LearningRate: 0.05, TreeComplexity: 5,
@@ -152,7 +164,10 @@ func cmdBench(args []string) error {
 			}
 		}))
 
-	m := benchSpaceModel(modelTrees, modelWindow)
+	m, err := benchSpaceModel(*backendName, modelTrees, modelWindow, *quick)
+	if err != nil {
+		return err
+	}
 	space := conf.StandardSpace()
 	rng := rand.New(rand.NewSource(2))
 	rows := make([][]float64, probeRows)
@@ -170,7 +185,7 @@ func cmdBench(args []string) error {
 		},
 		func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				m.PredictBatch(rows, out)
+				model.PredictBatch(m, rows, out)
 			}
 		}))
 
@@ -186,7 +201,7 @@ func cmdBench(args []string) error {
 		},
 		func(b *testing.B) {
 			opt := gaOpt
-			opt.BatchObj = m.PredictBatch
+			opt.BatchObj = func(X [][]float64, fit []float64) { model.PredictBatch(m, X, fit) }
 			for i := 0; i < b.N; i++ {
 				ga.Minimize(space, m.Predict, nil, opt)
 			}

@@ -34,13 +34,15 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/backends"
 	"repro/internal/cluster"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/experiments"
 	"repro/internal/expert"
-	"repro/internal/ga"
 	"repro/internal/hm"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sparksim"
 	"repro/internal/workloads"
@@ -71,6 +73,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -82,16 +86,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench|serve|client> [flags]
   dac collect -workload TS -n 2000 -out ts.csv
   dac train   -in ts.csv -out ts.model          # fit HM on collected data
   dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
-  dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1]
+  dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1] [-model hm|rf|rs|ann|svm]
   dac show    -workload TS
   dac compare -workload TS [-ntrain 2000]
   dac importance -in ts.csv [-top 10]
   dac bench   [-json BENCH_model.json] [-quick]  # serial vs batched/parallel
   dac serve   [-addr :7411] [-data dacd-data] [-workers 2]  # tuning daemon (HTTP API)
+  dac client  <submit|status|jobs|cancel|models|predict|backends> [-addr http://127.0.0.1:7411]
 pipeline subcommands also accept -report (print metrics report),
 -metrics <path> (write metrics JSON), -cpuprofile <path> and
 -memprofile <path> (write pprof profiles)`)
@@ -160,6 +165,7 @@ func lookupWorkload(abbr string) (*workloads.Workload, error) {
 func newTuner(w *workloads.Workload, ntrain int, seed int64, reg *obs.Registry) *core.Tuner {
 	sim := sparksim.New(cluster.Standard(), seed+7)
 	sim.Instrument(reg)
+	budget := experiments.PaperBudget()
 	return &core.Tuner{
 		Space: conf.StandardSpace(),
 		// The batch executor lets the collector hand each worker's chunk
@@ -167,12 +173,31 @@ func newTuner(w *workloads.Workload, ntrain int, seed int64, reg *obs.Registry) 
 		Exec: core.NewSimExecutor(sim, &w.Program),
 		Opt: core.Options{
 			NTrain: ntrain,
-			HM:     hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5},
-			GA:     ga.Options{PopSize: 100, Generations: 100},
+			HM:     budget.HM,
+			GA:     budget.GA,
 			Seed:   seed,
 		},
 		Obs: reg,
 	}
+}
+
+// selectBackend validates -model and, for non-default choices, routes the
+// tuner's modeling stage through that backend. The hm default keeps the
+// tuner's built-in HM path — output stays byte-identical to a build
+// without the backend layer.
+func selectBackend(t *core.Tuner, name string, reg *obs.Registry) error {
+	b, err := backends.Default().Lookup(name)
+	if err != nil {
+		return err
+	}
+	if name == "hm" {
+		return nil
+	}
+	t.Opt.Backend = b
+	t.Opt.BackendTrain = model.TrainOpts{}
+	reg.Counter("model.backend." + name).Inc()
+	fmt.Printf("model backend: %s\n", name)
+	return nil
 }
 
 func cmdCollect(args []string) error {
@@ -224,6 +249,7 @@ func cmdTune(args []string) error {
 	size := fs.Float64("size", 0, "target datasize in the workload's units (default: middle Table 1 size)")
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
+	backendName := fs.String("model", "hm", "model backend (hm|rf|rs|ann|svm)")
 	of := addObsFlags(fs)
 	pf := addProfFlags(fs)
 	fs.Parse(args)
@@ -244,6 +270,9 @@ func cmdTune(args []string) error {
 	targetMB := w.InputMB(units)
 	reg := of.registry()
 	t := newTuner(w, *ntrain, *seed, reg)
+	if err := selectBackend(t, *backendName, reg); err != nil {
+		return err
+	}
 	lo := w.InputMB(w.Sizes[0]) * 0.8
 	hi := w.InputMB(w.Sizes[len(w.Sizes)-1]) * 1.1
 	fmt.Printf("tuning %s for %g %s (%.0f MB)...\n", w.Name, units, w.Unit, targetMB)
@@ -297,7 +326,10 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	reg := of.registry()
-	m, err := hm.Train(set.ToDataset(), hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed, Obs: reg})
+	hmOpt := experiments.PaperBudget().HM
+	hmOpt.Seed = *seed
+	hmOpt.Obs = reg
+	m, err := hm.Train(set.ToDataset(), hmOpt)
 	if err != nil {
 		return err
 	}
@@ -344,7 +376,10 @@ func cmdImportance(args []string) error {
 	}
 	ds := set.ToDataset()
 	reg := of.registry()
-	m, err := hm.Train(ds, hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5, Seed: *seed, Obs: reg})
+	hmOpt := experiments.PaperBudget().HM
+	hmOpt.Seed = *seed
+	hmOpt.Obs = reg
+	m, err := hm.Train(ds, hmOpt)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,105 @@
+package backends
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// backendDS builds a small synthetic regression problem every backend
+// can fit: two smooth features, an interaction, and a datasize column.
+func backendDS(n int, seed int64) *model.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := model.NewDataset([]string{"a", "b", "dsize"})
+	for i := 0; i < n; i++ {
+		a, b, d := rng.Float64()*10, rng.Float64()*5, 10+rng.Float64()*90
+		ds.Add([]float64{a, b, d}, 5+2*a+a*b+0.1*d+rng.NormFloat64()*0.2)
+	}
+	return ds
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	reg := Default()
+	want := []string{"ann", "hm", "rf", "rs", "svm"}
+	names := reg.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v (sorted)", names, want)
+		}
+	}
+	if _, err := reg.Lookup("xgboost"); err == nil {
+		t.Fatal("unknown backend lookup should fail")
+	}
+
+	// The capability matrix is part of the contract: hm is the only
+	// backend that can warm-start, and every backend persists.
+	caps := map[string]model.Capabilities{
+		"hm":  {Save: true, Load: true, Resume: true},
+		"rf":  {Save: true, Load: true},
+		"rs":  {Save: true, Load: true},
+		"ann": {Save: true, Load: true},
+		"svm": {Save: true, Load: true},
+	}
+	for name, want := range caps {
+		b, err := reg.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := model.CapabilitiesOf(b); got != want {
+			t.Fatalf("%s capabilities = %+v, want %+v", name, got, want)
+		}
+	}
+}
+
+// TestBackendCodecRoundTrip trains every backend at quick scale, streams
+// it through its own Save/Load codec, and requires the reloaded model to
+// predict bit-identically via PredictBatch.
+func TestBackendCodecRoundTrip(t *testing.T) {
+	reg := Default()
+	train := backendDS(300, 1)
+	probe := backendDS(64, 2)
+	out := make([]float64, len(probe.Features))
+	ref := make([]float64, len(probe.Features))
+	for _, name := range reg.Names() {
+		b, err := reg.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := b.Train(train, model.TrainOpts{Seed: 3, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: train: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := b.(model.Saver).Save(m, &buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := b.(model.Loader).Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		model.PredictBatch(m, probe.Features, ref)
+		model.PredictBatch(got, probe.Features, out)
+		for i := range ref {
+			if ref[i] != out[i] {
+				t.Fatalf("%s: probe %d: reloaded model predicts %v, original %v", name, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestBackendCodecRejectsGarbage makes sure a loader fails cleanly on a
+// stream written by something else rather than returning a broken model.
+func TestBackendCodecRejectsGarbage(t *testing.T) {
+	reg := Default()
+	for _, name := range reg.Names() {
+		b, _ := reg.Lookup(name)
+		if _, err := b.(model.Loader).Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+			t.Fatalf("%s: loading garbage should fail", name)
+		}
+	}
+}

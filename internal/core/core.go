@@ -79,6 +79,15 @@ type Options struct {
 	NTrain int
 	// HM configures the performance model.
 	HM hm.Options
+	// Backend, when non-nil, replaces the HM modeling stage: the tuner
+	// trains through Backend.Train instead of hm.Train, with BackendTrain
+	// as the knobs. Nil keeps the paper's HM path, including its exact
+	// seed derivation — default-path output is byte-identical with or
+	// without the backend layer present.
+	Backend model.Backend
+	// BackendTrain holds the cross-backend training knobs when Backend is
+	// set. A zero Seed is filled with Seed+1, mirroring the HM path.
+	BackendTrain model.TrainOpts
 	// GA configures the searcher.
 	GA ga.Options
 	// Parallelism bounds concurrent executions while collecting
@@ -262,6 +271,21 @@ func (t *Tuner) Model(set *dataset.Set) (model.Model, Overhead, error) {
 
 func (t *Tuner) model(set *dataset.Set) (model.Model, Overhead, error) {
 	opt := t.Opt.withDefaults()
+	if opt.Backend != nil {
+		trainOpt := opt.BackendTrain
+		if trainOpt.Seed == 0 {
+			trainOpt.Seed = opt.Seed + 1
+		}
+		if trainOpt.Obs == nil {
+			trainOpt.Obs = t.Obs
+		}
+		start := time.Now()
+		m, err := opt.Backend.Train(set.ToDataset(), trainOpt)
+		if err != nil {
+			return nil, Overhead{}, fmt.Errorf("core: training %s: %w", opt.Backend.Name(), err)
+		}
+		return m, Overhead{ModelTrainSec: time.Since(start).Seconds()}, nil
+	}
 	hmOpt := t.obsHM(opt.HM)
 	if hmOpt.Seed == 0 {
 		hmOpt.Seed = opt.Seed + 1

@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/ann"
+	"repro/internal/backends"
 	"repro/internal/hm"
 	"repro/internal/model"
-	"repro/internal/rf"
-	"repro/internal/rs"
 	"repro/internal/stats"
-	"repro/internal/svm"
 	"repro/internal/workloads"
 )
 
@@ -21,14 +18,21 @@ type ModelErrRow struct {
 	Err     map[string]float64
 }
 
-// baselineTrainers returns RS/ANN/SVM/RF (Fig. 3's techniques) sized for
-// the scale.
-func baselineTrainers(sc Scale) []model.Trainer {
-	return []model.Trainer{
-		rs.Trainer{},
-		ann.Trainer{Opt: ann.Options{Epochs: annEpochs(sc)}},
-		svm.Trainer{},
-		rf.Trainer{},
+// backendEntry names one registry backend plus the training knobs the
+// experiment's scale implies for it.
+type backendEntry struct {
+	name string
+	opt  model.TrainOpts
+}
+
+// baselineEntries returns RS/ANN/SVM/RF (Fig. 3's techniques) sized for
+// the scale, as backend-registry lookups.
+func baselineEntries(sc Scale) []backendEntry {
+	return []backendEntry{
+		{name: "rs"},
+		{name: "ann", opt: model.TrainOpts{Epochs: annEpochs(sc)}},
+		{name: "svm"},
+		{name: "rf"},
 	}
 }
 
@@ -43,32 +47,43 @@ func annEpochs(sc Scale) int {
 // modeling techniques on all six programs, demonstrating that none is
 // accurate enough with 41 parameters + datasize.
 func Fig3(sc Scale) []ModelErrRow {
-	return modelErrors(sc, baselineTrainers(sc))
+	return modelErrors(sc, baselineEntries(sc))
 }
 
 // Fig9 reproduces §5.3: Fig. 3's comparison with HM added.
 func Fig9(sc Scale) []ModelErrRow {
-	hmOpt := sc.HM
-	trainers := append(baselineTrainers(sc), hm.Trainer{Opt: hmOpt})
-	return modelErrors(sc, trainers)
+	entries := append(baselineEntries(sc), backendEntry{name: "hm", opt: model.TrainOpts{
+		Trees:          sc.HM.Trees,
+		LearningRate:   sc.HM.LearningRate,
+		TreeComplexity: sc.HM.TreeComplexity,
+	}})
+	return modelErrors(sc, entries)
 }
 
-func modelErrors(sc Scale, trainers []model.Trainer) []ModelErrRow {
+func modelErrors(sc Scale, entries []backendEntry) []ModelErrRow {
+	reg := backends.Default()
 	rows := make([]ModelErrRow, 0, 7)
 	avg := ModelErrRow{Program: "AVG", Err: map[string]float64{}}
 	for _, w := range workloads.All() {
 		train := collectDataset(sc, w, sc.NTrain, 42, sc.Seed)
 		test := collectDataset(sc, w, sc.NTest, 42, sc.Seed+1000)
 		row := ModelErrRow{Program: w.Abbr, Err: map[string]float64{}}
-		for _, tr := range trainers {
-			m, err := tr.Train(train)
+		for _, ent := range entries {
+			// Row keys stay the figures' uppercase technique names.
+			key := strings.ToUpper(ent.name)
+			b, err := reg.Lookup(ent.name)
 			if err != nil {
-				row.Err[tr.Name()] = -1
+				row.Err[key] = -1
+				continue
+			}
+			m, err := b.Train(train, ent.opt)
+			if err != nil {
+				row.Err[key] = -1
 				continue
 			}
 			e := model.Evaluate(m, test).Mean * 100
-			row.Err[tr.Name()] = e
-			avg.Err[tr.Name()] += e / float64(len(workloads.All()))
+			row.Err[key] = e
+			avg.Err[key] += e / float64(len(workloads.All()))
 		}
 		rows = append(rows, row)
 	}

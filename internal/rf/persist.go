@@ -1,0 +1,77 @@
+package rf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tree"
+)
+
+// Forest persistence mirrors internal/hm's snapshot approach: the trees
+// flatten through the shared tree.FlatNode form (per-split bin codes
+// included when every tree carries them), gob-encoded behind a version
+// field so the schema can grow without breaking old streams.
+
+// snapshot is the serialized form of a Forest.
+type snapshot struct {
+	Version int
+	Log     bool
+	Trees   [][]tree.FlatNode
+	// HasBins records that every persisted node carries a valid Bin code
+	// (see the hm snapshot for why validity is a snapshot-level flag: a
+	// zero-decoded Bin is indistinguishable from a genuine bin 0).
+	HasBins bool
+}
+
+const snapshotVersion = 1
+
+// Save writes the forest to w.
+func (f *Forest) Save(w io.Writer) error {
+	s := snapshot{Version: snapshotVersion, Log: f.log, HasBins: true}
+	for _, t := range f.trees {
+		if !t.HasBinCodes() {
+			s.HasBins = false
+			break
+		}
+	}
+	s.Trees = make([][]tree.FlatNode, len(f.trees))
+	for i, t := range f.trees {
+		s.Trees[i] = t.Flatten()
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("rf: saving forest: %w", err)
+	}
+	return nil
+}
+
+// Load reads a forest previously written by Save. Bin codes are restored
+// through the same tree.FromFlatWithCodes machinery the hm snapshot uses;
+// prediction is bit-identical to the forest that was saved either way.
+func Load(r io.Reader) (*Forest, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("rf: loading forest: %w", err)
+	}
+	if s.Version < 1 || s.Version > snapshotVersion {
+		return nil, fmt.Errorf("rf: forest snapshot version %d, want 1..%d", s.Version, snapshotVersion)
+	}
+	if len(s.Trees) == 0 {
+		return nil, fmt.Errorf("rf: malformed snapshot: no trees")
+	}
+	f := &Forest{log: s.Log}
+	for _, nodes := range s.Trees {
+		var t *tree.Tree
+		var err error
+		if s.HasBins {
+			t, err = tree.FromFlatWithCodes(nodes)
+		} else {
+			t, err = tree.FromFlat(nodes)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rf: %w", err)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,8 +17,10 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/experiments"
 	"repro/internal/ga"
 	"repro/internal/hm"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sparksim"
 	"repro/internal/workloads"
@@ -69,6 +73,10 @@ type JobSpec struct {
 	// lowercased.
 	Model        string `json:"model,omitempty"`
 	ModelVersion int    `json:"model_version,omitempty"` // 0 = latest
+	// Backend selects which model backend train/tune jobs fit
+	// (hm|rf|rs|ann|svm); default hm, the paper's model. Warm-start is
+	// only accepted when the backend implements model.Resumer.
+	Backend string `json:"backend,omitempty"`
 	// FromJob is the finished collect (or tune) job whose CSV feeds a
 	// train job.
 	FromJob int64 `json:"from_job,omitempty"`
@@ -100,14 +108,30 @@ type Progress struct {
 // Job is one unit of daemon work, persisted as jobs/<id>.json on every
 // state transition so a restarted daemon re-adopts its queue.
 type Job struct {
-	ID          int64           `json:"id"`
-	Spec        JobSpec         `json:"spec"`
-	State       string          `json:"state"`
+	ID    int64   `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State string  `json:"state"`
+	// SpecHash fingerprints the spec for submission dedup: submitting a
+	// spec whose hash matches a queued, running, or done job returns that
+	// job instead of enqueueing a duplicate.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Deduped counts submissions that were folded into this job.
+	Deduped     int             `json:"deduped,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
 	Progress    Progress        `json:"progress"`
 	CreatedUnix int64           `json:"created_unix"`
 	UpdatedUnix int64           `json:"updated_unix"`
+}
+
+// specHash fingerprints a spec by hashing its canonical JSON form.
+func specHash(spec JobSpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "" // unreachable: JobSpec is plain data
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Manager owns the daemon's job queue: a bounded worker pool executing
@@ -122,6 +146,7 @@ type Manager struct {
 
 	mu      sync.Mutex
 	jobs    map[int64]*Job
+	byHash  map[string]int64 // spec hash → most recent job with it
 	cancels map[int64]context.CancelFunc
 	nextID  int64
 	caches  map[string]*ga.GenomeCache
@@ -160,6 +185,7 @@ func NewManager(dataDir string, workers int, reg *obs.Registry) (*Manager, error
 		models:     models,
 		obs:        reg,
 		jobs:       make(map[int64]*Job),
+		byHash:     make(map[string]int64),
 		cancels:    make(map[int64]context.CancelFunc),
 		caches:     make(map[string]*ga.GenomeCache),
 		queue:      make(chan int64, 4096),
@@ -207,7 +233,16 @@ func (m *Manager) loadJobs() ([]int64, error) {
 			resume = append(resume, j.ID)
 			m.obs.Counter("serve.jobs.adopted").Inc()
 		}
+		if j.SpecHash == "" {
+			// Jobs persisted before dedup existed; fingerprint them so
+			// resubmissions of old specs dedup too.
+			j.SpecHash = specHash(j.Spec)
+		}
 		m.jobs[j.ID] = &j
+		// Later IDs win so byHash always points at the newest attempt.
+		if prev, ok := m.byHash[j.SpecHash]; !ok || j.ID > prev {
+			m.byHash[j.SpecHash] = j.ID
+		}
 		if j.ID >= m.nextID {
 			m.nextID = j.ID + 1
 		}
@@ -228,32 +263,51 @@ func (m *Manager) Close() {
 }
 
 // Submit validates, persists, and enqueues a job, returning its ID.
-func (m *Manager) Submit(spec JobSpec) (int64, error) {
-	if err := validateSpec(spec); err != nil {
-		return 0, err
+// Submitting a spec identical to a queued, running, or done job returns
+// that job's ID with deduped=true instead of enqueueing a duplicate: the
+// pipeline is deterministic in the spec, so the existing job's result is
+// exactly what a rerun would produce. Failed and cancelled jobs don't
+// absorb resubmissions — those are the retry path.
+func (m *Manager) Submit(spec JobSpec) (int64, bool, error) {
+	if err := m.validateSpec(spec); err != nil {
+		return 0, false, err
 	}
+	hash := specHash(spec)
 	m.mu.Lock()
+	if prev, ok := m.byHash[hash]; ok {
+		if j, live := m.jobs[prev]; live {
+			switch j.State {
+			case StateQueued, StateRunning, StateDone:
+				j.Deduped++
+				m.persistLocked(j)
+				m.mu.Unlock()
+				m.obs.Counter("serve.jobs.deduped").Inc()
+				return prev, true, nil
+			}
+		}
+	}
 	id := m.nextID
 	m.nextID++
 	now := time.Now().Unix()
-	j := &Job{ID: id, Spec: spec, State: StateQueued, CreatedUnix: now, UpdatedUnix: now}
+	j := &Job{ID: id, Spec: spec, State: StateQueued, SpecHash: hash, CreatedUnix: now, UpdatedUnix: now}
 	m.jobs[id] = j
+	m.byHash[hash] = id
 	err := m.persistLocked(j)
 	m.mu.Unlock()
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	select {
 	case m.queue <- id:
 	default:
 		m.setState(id, StateFailed, "job queue full", nil)
-		return 0, fmt.Errorf("serve: job queue full")
+		return 0, false, fmt.Errorf("serve: job queue full")
 	}
 	m.obs.Counter("serve.jobs.submitted").Inc()
-	return id, nil
+	return id, false, nil
 }
 
-func validateSpec(spec JobSpec) error {
+func (m *Manager) validateSpec(spec JobSpec) error {
 	switch spec.Type {
 	case JobCollect, JobTrain, JobSearch, JobTune:
 	default:
@@ -273,6 +327,17 @@ func validateSpec(spec JobSpec) error {
 	if spec.Model != "" {
 		if err := validName(spec.Model); err != nil {
 			return err
+		}
+	}
+	if spec.Backend != "" {
+		b, err := m.models.Backends().Lookup(spec.Backend)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if spec.WarmFrom != "" {
+			if _, ok := b.(model.Resumer); !ok {
+				return fmt.Errorf("serve: backend %q does not support warm-start", spec.Backend)
+			}
 		}
 	}
 	return nil
@@ -443,17 +508,15 @@ func (m *Manager) runJob(id int64) {
 	}
 }
 
-// budgets resolves a spec's pipeline budgets: paper defaults, shrunk by
-// Quick, overridden by explicit values.
+// budgets resolves a spec's pipeline budgets from the shared presets
+// (the CLI resolves the same ones): paper defaults, shrunk by Quick,
+// overridden by explicit values.
 func (spec JobSpec) budgets() (ntrain int, hmOpt hm.Options, gaOpt ga.Options) {
-	ntrain = 2000
-	hmOpt = hm.Options{Trees: 3600, LearningRate: 0.05, TreeComplexity: 5}
-	gaOpt = ga.Options{PopSize: 100, Generations: 100}
+	b := experiments.PaperBudget()
 	if spec.Quick {
-		ntrain = 200
-		hmOpt = hm.Options{Trees: 120, LearningRate: 0.1, TreeComplexity: 5}
-		gaOpt = ga.Options{PopSize: 20, Generations: 10}
+		b = experiments.QuickBudget()
 	}
+	ntrain, hmOpt, gaOpt = b.NTrain, b.HM, b.GA
 	if spec.NTrain > 0 {
 		ntrain = spec.NTrain
 	}
@@ -476,6 +539,25 @@ func (spec JobSpec) seed() int64 {
 	return 1
 }
 
+// backend resolves the spec's backend name, defaulting to hm.
+func (spec JobSpec) backend() string {
+	if spec.Backend == "" {
+		return "hm"
+	}
+	return spec.Backend
+}
+
+// trainOpts maps the spec's budget knobs onto the cross-backend form.
+// HMTrees doubles as the generic tree-count override.
+func (m *Manager) trainOpts(spec JobSpec) model.TrainOpts {
+	return model.TrainOpts{
+		Seed:  spec.seed(),
+		Obs:   m.obs,
+		Quick: spec.Quick,
+		Trees: spec.HMTrees,
+	}
+}
+
 // modelName is the registry entry a job writes or reads by default.
 func (spec JobSpec) modelName(w *workloads.Workload) string {
 	if spec.Model != "" {
@@ -492,17 +574,29 @@ func (m *Manager) tunerFor(w *workloads.Workload, spec JobSpec) *core.Tuner {
 	seed := spec.seed()
 	sim := sparksim.New(cluster.Standard(), seed+7)
 	sim.Instrument(m.obs)
+	opt := core.Options{
+		NTrain:      ntrain,
+		HM:          hmOpt,
+		GA:          gaOpt,
+		Parallelism: spec.Parallelism,
+		Seed:        seed,
+	}
+	if name := spec.backend(); name != "hm" {
+		// Route the modeling stage through the selected backend; the hm
+		// default keeps the tuner's built-in path (bit-identical to the
+		// CLI). Seed stays zero so the tuner derives it as Seed+1, the
+		// same slot the hm path uses.
+		b, err := m.models.Backends().Lookup(name)
+		if err == nil { // unknown names were rejected at Submit
+			opt.Backend = b
+			opt.BackendTrain = model.TrainOpts{Quick: spec.Quick, Trees: spec.HMTrees}
+		}
+	}
 	return &core.Tuner{
 		Space: conf.StandardSpace(),
 		Exec:  core.NewSimExecutor(sim, &w.Program),
-		Opt: core.Options{
-			NTrain:      ntrain,
-			HM:          hmOpt,
-			GA:          gaOpt,
-			Parallelism: spec.Parallelism,
-			Seed:        seed,
-		},
-		Obs: m.obs,
+		Opt:   opt,
+		Obs:   m.obs,
 	}
 }
 
@@ -626,42 +720,55 @@ func (m *Manager) runTrain(ctx context.Context, id int64, spec JobSpec) (any, er
 	}
 	m.setProgress(id, Progress{Phase: "train"})
 
-	_, hmOpt, _ := spec.budgets()
-	hmOpt.Seed = spec.seed()
-	hmOpt.Obs = m.obs
+	backendName := spec.backend()
+	b, err := m.models.Backends().Lookup(backendName)
+	if err != nil {
+		return nil, err
+	}
+	trainOpt := m.trainOpts(spec)
 	name := spec.Model
 	if name == "" {
 		name = strings.ToLower(src.Spec.Workload)
 	}
 	meta := ModelMeta{
+		Backend:     backendName,
 		Workload:    strings.ToUpper(src.Spec.Workload),
-		Seed:        hmOpt.Seed,
+		Seed:        trainOpt.Seed,
 		NTrain:      set.Len(),
 		Job:         id,
 		CreatedUnix: time.Now().Unix(),
 	}
 
-	var mdl *hm.Model
+	var mdl model.Model
 	if spec.WarmFrom != "" {
-		// Warm start: continue a registered model's boosting trajectory
-		// (and, if it still misses the accuracy target, its hierarchical
-		// recursion) instead of refitting from scratch.
+		// Warm start: continue a registered model's training trajectory
+		// (for hm, its boosting and, if it still misses the accuracy
+		// target, its hierarchical recursion) instead of refitting from
+		// scratch. Only backends with the Resumer capability offer this.
+		resumer, ok := b.(model.Resumer)
+		if !ok {
+			return nil, fmt.Errorf("serve: backend %q does not support warm-start", backendName)
+		}
 		base, baseMeta, err := m.models.Load(spec.WarmFrom, spec.WarmVersion)
 		if err != nil {
 			return nil, err
+		}
+		if got := baseMeta.backendName(); got != backendName {
+			return nil, fmt.Errorf("serve: warm-start source %s@v%d is a %s model, not %s",
+				baseMeta.Name, baseMeta.Version, got, backendName)
 		}
 		extra := spec.ExtraTrees
 		if extra <= 0 {
 			extra = 400
 		}
-		if err := hm.Resume(base, set.ToDataset(), hmOpt, extra); err != nil {
+		if err := resumer.Resume(base, set.ToDataset(), trainOpt, extra); err != nil {
 			return nil, err
 		}
 		mdl = base
 		meta.WarmFrom = fmt.Sprintf("%s@v%d", baseMeta.Name, baseMeta.Version)
 		m.obs.Counter("serve.models.warmstarts").Inc()
 	} else {
-		mdl, err = hm.Train(set.ToDataset(), hmOpt)
+		mdl, err = b.Train(set.ToDataset(), trainOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -671,13 +778,19 @@ func (m *Manager) runTrain(ctx context.Context, id int64, spec JobSpec) (any, er
 		return nil, err
 	}
 	m.obs.Counter("serve.models.saved").Inc()
-	return map[string]any{
+	out := map[string]any{
 		"model":   name,
 		"version": version,
-		"order":   mdl.Order,
-		"val_err": mdl.ValErr,
-		"trees":   mdl.NumTrees(),
-	}, nil
+		"backend": backendName,
+	}
+	if tm, ok := mdl.(interface{ NumTrees() int }); ok {
+		out["trees"] = tm.NumTrees()
+	}
+	if hmModel, ok := mdl.(*hm.Model); ok {
+		out["order"] = hmModel.Order
+		out["val_err"] = hmModel.ValErr
+	}
+	return out, nil
 }
 
 func (m *Manager) runSearch(ctx context.Context, id int64, spec JobSpec) (any, error) {
@@ -746,22 +859,28 @@ func (m *Manager) runTune(ctx context.Context, id int64, spec JobSpec) (any, err
 		"cluster_hours": res.Overhead.CollectClusterHours,
 	}
 	// Register the tuned model so later search jobs (and warm starts)
-	// reuse it without paying the collect again.
-	if hmModel, ok := res.Model.(*hm.Model); ok {
-		name := spec.modelName(w)
-		version, err := m.models.Save(name, hmModel, ModelMeta{
-			Workload:    w.Abbr,
-			Seed:        spec.seed(),
-			NTrain:      set.Len(),
-			Job:         id,
-			CreatedUnix: time.Now().Unix(),
-		})
-		if err != nil {
-			return nil, err
+	// reuse it without paying the collect again. A backend without the
+	// Saver capability skips registration; the tuned configuration above
+	// is still the job's result.
+	if b, lookupErr := m.models.Backends().Lookup(spec.backend()); lookupErr == nil {
+		if _, ok := b.(model.Saver); ok {
+			name := spec.modelName(w)
+			version, err := m.models.Save(name, res.Model, ModelMeta{
+				Backend:     spec.backend(),
+				Workload:    w.Abbr,
+				Seed:        spec.seed(),
+				NTrain:      set.Len(),
+				Job:         id,
+				CreatedUnix: time.Now().Unix(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			m.obs.Counter("serve.models.saved").Inc()
+			out["model"] = name
+			out["model_version"] = version
+			out["backend"] = spec.backend()
 		}
-		m.obs.Counter("serve.models.saved").Inc()
-		out["model"] = name
-		out["model_version"] = version
 	}
 	return out, nil
 }

@@ -10,14 +10,20 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/backends"
 	"repro/internal/hm"
+	"repro/internal/model"
 )
 
 // ModelMeta describes one registry entry: where the model came from and
 // how good it is, stored as v<N>.json beside the v<N>.model snapshot.
 type ModelMeta struct {
-	Name        string  `json:"name"`
-	Version     int     `json:"version"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Backend tags which backend's codec wrote the v<N>.model stream.
+	// Empty means hm: every registry written before the backend layer
+	// existed holds hm snapshots, so legacy entries load unchanged.
+	Backend     string  `json:"backend,omitempty"`
 	Workload    string  `json:"workload,omitempty"`
 	Seed        int64   `json:"seed"`
 	NTrain      int     `json:"ntrain,omitempty"`
@@ -29,27 +35,58 @@ type ModelMeta struct {
 	CreatedUnix int64   `json:"created_unix"`
 }
 
+// backendName resolves the meta's backend tag, defaulting legacy
+// (pre-tag) entries to hm.
+func (m ModelMeta) backendName() string {
+	if m.Backend == "" {
+		return "hm"
+	}
+	return m.Backend
+}
+
 // ModelRegistry is the daemon's versioned model store. Layout:
 //
-//	<dir>/<name>/v<N>.model   — hm snapshot (v2 format: edges + bin codes,
-//	                            so a loaded model warm-starts through
-//	                            hm.Resume's binned replay)
-//	<dir>/<name>/v<N>.json    — ModelMeta
+//	<dir>/<name>/v<N>.model   — the backend's snapshot (for hm, the v2
+//	                            format: edges + bin codes, so a loaded
+//	                            model warm-starts through hm.Resume's
+//	                            binned replay)
+//	<dir>/<name>/v<N>.json    — ModelMeta, whose Backend field names the
+//	                            codec that wrote the .model stream
 //
 // Versions are monotonically increasing per name; Save never overwrites.
 // Writes go through a temp file + rename, so a crash mid-save leaves at
 // worst an orphaned .tmp, never a half-written version.
 type ModelRegistry struct {
-	dir string
-	mu  sync.Mutex
+	dir      string
+	backends *model.BackendRegistry
+	mu       sync.Mutex
 }
 
-// NewModelRegistry opens (creating if needed) the registry rooted at dir.
+// NewModelRegistry opens (creating if needed) the registry rooted at dir,
+// wired to the default backend set.
 func NewModelRegistry(dir string) (*ModelRegistry, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &ModelRegistry{dir: dir}, nil
+	return &ModelRegistry{dir: dir, backends: backends.Default()}, nil
+}
+
+// Backends exposes the registry's backend set (shared with the job
+// manager and the HTTP layer).
+func (r *ModelRegistry) Backends() *model.BackendRegistry { return r.backends }
+
+// saver resolves the backend that can persist models for name, erroring
+// when the backend exists but lacks the capability.
+func (r *ModelRegistry) saver(backend string) (model.Saver, error) {
+	b, err := r.backends.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := b.(model.Saver)
+	if !ok {
+		return nil, fmt.Errorf("serve: backend %q cannot persist models", backend)
+	}
+	return s, nil
 }
 
 // validName keeps registry names shell- and path-safe.
@@ -65,9 +102,15 @@ func validName(name string) error {
 	return nil
 }
 
-// Save persists m as the next version of name and returns that version.
-func (r *ModelRegistry) Save(name string, m *hm.Model, meta ModelMeta) (int, error) {
+// Save persists m as the next version of name through the backend named
+// by meta.Backend (default hm) and returns that version.
+func (r *ModelRegistry) Save(name string, m model.Model, meta ModelMeta) (int, error) {
 	if err := validName(name); err != nil {
+		return 0, err
+	}
+	meta.Backend = meta.backendName()
+	saver, err := r.saver(meta.Backend)
+	if err != nil {
 		return 0, err
 	}
 	r.mu.Lock()
@@ -86,12 +129,16 @@ func (r *ModelRegistry) Save(name string, m *hm.Model, meta ModelMeta) (int, err
 	}
 	meta.Name = name
 	meta.Version = next
-	meta.Trees = m.NumTrees()
-	meta.Order = m.Order
-	meta.ValErr = m.ValErr
+	if tm, ok := m.(interface{ NumTrees() int }); ok {
+		meta.Trees = tm.NumTrees()
+	}
+	if hmModel, ok := m.(*hm.Model); ok {
+		meta.Order = hmModel.Order
+		meta.ValErr = hmModel.ValErr
+	}
 
 	mp := filepath.Join(dir, fmt.Sprintf("v%d.model", next))
-	if err := atomicWrite(mp, func(f *os.File) error { return m.Save(f) }); err != nil {
+	if err := atomicWrite(mp, func(f *os.File) error { return saver.Save(m, f) }); err != nil {
 		return 0, err
 	}
 	jp := filepath.Join(dir, fmt.Sprintf("v%d.json", next))
@@ -106,8 +153,10 @@ func (r *ModelRegistry) Save(name string, m *hm.Model, meta ModelMeta) (int, err
 	return next, nil
 }
 
-// Load reads one model version; version 0 selects the latest.
-func (r *ModelRegistry) Load(name string, version int) (*hm.Model, ModelMeta, error) {
+// Load reads one model version through the backend its metadata names
+// (legacy entries without a tag load as hm); version 0 selects the
+// latest.
+func (r *ModelRegistry) Load(name string, version int) (model.Model, ModelMeta, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := validName(name); err != nil {
@@ -124,6 +173,21 @@ func (r *ModelRegistry) Load(name string, version int) (*hm.Model, ModelMeta, er
 		version = versions[len(versions)-1]
 	}
 	dir := filepath.Join(r.dir, name)
+	meta, err := readMeta(filepath.Join(dir, fmt.Sprintf("v%d.json", version)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ModelMeta{}, fmt.Errorf("serve: model %s@v%d not found", name, version)
+		}
+		return nil, ModelMeta{}, err
+	}
+	b, err := r.backends.Lookup(meta.backendName())
+	if err != nil {
+		return nil, ModelMeta{}, fmt.Errorf("serve: model %s@v%d: %w", name, version, err)
+	}
+	loader, ok := b.(model.Loader)
+	if !ok {
+		return nil, ModelMeta{}, fmt.Errorf("serve: model %s@v%d: backend %q cannot load models", name, version, meta.backendName())
+	}
 	f, err := os.Open(filepath.Join(dir, fmt.Sprintf("v%d.model", version)))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -131,14 +195,10 @@ func (r *ModelRegistry) Load(name string, version int) (*hm.Model, ModelMeta, er
 		}
 		return nil, ModelMeta{}, err
 	}
-	m, err := hm.Load(f)
+	m, err := loader.Load(f)
 	f.Close()
 	if err != nil {
 		return nil, ModelMeta{}, fmt.Errorf("serve: model %s@v%d: %w", name, version, err)
-	}
-	meta, err := readMeta(filepath.Join(dir, fmt.Sprintf("v%d.json", version)))
-	if err != nil {
-		return nil, ModelMeta{}, err
 	}
 	return m, meta, nil
 }

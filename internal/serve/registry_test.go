@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -137,9 +138,13 @@ func TestRegistryWarmStart(t *testing.T) {
 	if _, err := reg.Save("warm", orig, ModelMeta{Seed: 11}); err != nil {
 		t.Fatal(err)
 	}
-	loaded, _, err := reg.Load("warm", 0)
+	loadedModel, _, err := reg.Load("warm", 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	loaded, ok := loadedModel.(*hm.Model)
+	if !ok {
+		t.Fatalf("registry returned %T for an hm entry", loadedModel)
 	}
 	if err := hm.Resume(orig, ds, opt, 25); err != nil {
 		t.Fatal(err)
@@ -159,5 +164,95 @@ func TestRegistryWarmStart(t *testing.T) {
 	}
 	if v != 2 {
 		t.Fatalf("warm-started model registered as v%d, want v2", v)
+	}
+}
+
+// TestRegistryAllBackendsRoundTrip saves a model from every registered
+// backend and loads it back through the backend-tagged reader: the meta
+// must carry the backend name and the reloaded model must predict
+// bit-identically.
+func TestRegistryAllBackendsRoundTrip(t *testing.T) {
+	reg, err := NewModelRegistry(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := registryDS(300, 21)
+	probe := registryDS(64, 22)
+	ref := make([]float64, len(probe.Features))
+	out := make([]float64, len(probe.Features))
+	for _, name := range reg.Backends().Names() {
+		b, err := reg.Backends().Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := b.Train(train, model.TrainOpts{Seed: 7, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: train: %v", name, err)
+		}
+		v, err := reg.Save("rt-"+name, m, ModelMeta{Backend: name, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, meta, err := reg.Load("rt-"+name, v)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if meta.Backend != name {
+			t.Fatalf("%s: reloaded meta tagged %q", name, meta.Backend)
+		}
+		model.PredictBatch(m, probe.Features, ref)
+		model.PredictBatch(got, probe.Features, out)
+		for i := range ref {
+			if ref[i] != out[i] {
+				t.Fatalf("%s: probe %d: registry round trip predicts %v, trained %v", name, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRegistryLegacyUntaggedHM loads an entry written before the backend
+// layer existed: an hm snapshot beside a meta JSON with no backend field.
+// The tagged reader must default it to hm rather than refusing it.
+func TestRegistryLegacyUntaggedHM(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "models")
+	reg, err := NewModelRegistry(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainSmall(t, 31)
+	dir := filepath.Join(root, "legacy")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "v1.model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// A pre-backend meta file: no "backend" key at all.
+	legacyMeta := []byte(`{"name":"legacy","version":1,"seed":31,"trees":40,"order":2,"val_err":0.01,"created_unix":1700000000}`)
+	if err := os.WriteFile(filepath.Join(dir, "v1.json"), legacyMeta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, meta, err := reg.Load("legacy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Backend != "" || meta.backendName() != "hm" {
+		t.Fatalf("legacy meta backend = %q (resolves %q), want untagged hm", meta.Backend, meta.backendName())
+	}
+	loaded, ok := got.(*hm.Model)
+	if !ok {
+		t.Fatalf("legacy entry loaded as %T, want *hm.Model", got)
+	}
+	probe := registryDS(50, 32)
+	for i, x := range probe.Features {
+		if a, b := loaded.Predict(x), m.Predict(x); a != b {
+			t.Fatalf("probe %d: legacy stream drifted through the tagged reader: %v vs %v", i, a, b)
+		}
 	}
 }

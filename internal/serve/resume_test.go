@@ -214,7 +214,7 @@ func TestManagerRestartResumesCollect(t *testing.T) {
 			<-m1.rootCtx.Done()
 		}
 	}
-	id, err := m1.Submit(JobSpec{Type: JobCollect, Workload: "TS", NTrain: ntrain, Seed: 1, Parallelism: 2})
+	id, _, err := m1.Submit(JobSpec{Type: JobCollect, Workload: "TS", NTrain: ntrain, Seed: 1, Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/conf"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/workloads"
 )
@@ -15,13 +16,14 @@ import (
 // Server is the dacd HTTP front end: a JSON API over a Manager and its
 // model registry.
 //
-//	POST /jobs                      submit a JobSpec        → {"id": N}
+//	POST /jobs                      submit a JobSpec        → {"id": N, "deduped": bool}
 //	GET  /jobs                      list jobs
 //	GET  /jobs/{id}                 one job (state, progress, result)
 //	POST /jobs/{id}/cancel          cancel a queued/running job
 //	GET  /models                    latest version of every model
 //	GET  /models/{name}             every version's metadata
 //	POST /models/{name}/predict     predict a config's time  → {"predicted_sec": s}
+//	GET  /backends                  model backends + capabilities
 //	GET  /metrics                   obs registry as JSON
 //	GET  /healthz                   liveness
 type Server struct {
@@ -46,6 +48,7 @@ func NewServer(dataDir string, workers int, reg *obs.Registry) (*Server, error) 
 	s.mux.HandleFunc("GET /models", s.handleListModels)
 	s.mux.HandleFunc("GET /models/{name}", s.handleGetModel)
 	s.mux.HandleFunc("POST /models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /backends", s.handleBackends)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -84,12 +87,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	id, err := s.manager.Submit(spec)
+	id, deduped, err := s.manager.Submit(spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "deduped": deduped})
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -218,6 +221,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		"dsize_mb":      dsize,
 		"predicted_sec": mdl.Predict(x),
 	})
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	reg := s.manager.Models().Backends()
+	out := make([]map[string]any, 0, len(reg.Names()))
+	for _, name := range reg.Names() {
+		b, err := reg.Lookup(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, map[string]any{
+			"name":         name,
+			"capabilities": model.CapabilitiesOf(b),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
