@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/backends"
 	"repro/internal/cluster"
@@ -113,6 +114,10 @@ func cmdBench(args []string) error {
 	jsonPath := fs.String("json", "", "write results as JSON (e.g. BENCH_model.json)")
 	quick := fs.Bool("quick", false, "small problem sizes (CI smoke run)")
 	backendName := fs.String("model", "hm", "model backend the predict/search pairs query (hm|rf|rs|ann|svm)")
+	serveBench := fs.Bool("serve", false, "benchmark the serving path instead: hot cache vs Load-per-request")
+	serveClients := fs.Int("serve-clients", 8, "concurrent HTTP clients for -serve")
+	serveDuration := fs.Duration("serve-duration", 3*time.Second, "load duration per side for -serve")
+	serveVectors := fs.Int("serve-vectors", 64, "distinct request vectors in the -serve pool")
 	pf := addProfFlags(fs)
 	fs.Parse(args)
 	stop, err := pf.start()
@@ -120,6 +125,10 @@ func cmdBench(args []string) error {
 		return err
 	}
 	defer stop()
+
+	if *serveBench {
+		return benchServe(*jsonPath, *quick, *serveClients, *serveVectors, *serveDuration, *backendName)
+	}
 
 	// Full sizes mirror the paper's budgets (nt=3600 models, popSize 100 ×
 	// 100 generations); -quick shrinks everything to CI scale.

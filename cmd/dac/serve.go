@@ -29,10 +29,21 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7411", "listen address (use :0 for a random free port)")
 	data := fs.String("data", "dacd-data", "data directory (journals, jobs, collected CSVs, model registry)")
 	workers := fs.Int("workers", 2, "concurrent tuning jobs")
+	coalesceWindow := fs.Duration("coalesce-window", 0, "predict micro-batch gather window (0 = default 200µs, negative = flush immediately)")
+	keepVersions := fs.Int("keep-versions", 0, "old model versions kept hot beside the latest (0 = default 4, negative = none)")
+	noHotPath := fs.Bool("no-hot-path", false, "disable the serving cache: decode the model from disk on every predict")
 	fs.Parse(args)
 
 	reg := obs.NewRegistry()
-	s, err := serve.NewServer(*data, *workers, reg)
+	s, err := serve.NewServerOpts(*data, serve.ServerOptions{
+		Workers: *workers,
+		Obs:     reg,
+		Serving: serve.ServingOptions{
+			Disabled:        *noHotPath,
+			CoalesceWindow:  *coalesceWindow,
+			KeepOldVersions: *keepVersions,
+		},
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,25 @@
+package model
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// VectorKey encodes a feature vector's exact float64 bits as a string,
+// 8 bytes per element, little-endian. Two vectors share a key if and
+// only if they are bit-identical element for element — the same
+// equivalence the BatchPredictor contract guarantees over: a
+// deterministic model returns the same prediction for two rows with
+// equal keys, whether they are scored per-row, in one batch, or in
+// different batches. Prediction memo caches (the daemon's serving memo,
+// keyed like ga.GenomeCache) therefore use VectorKey as the per-model
+// part of their key; note that +0 and -0 encode differently, as do the
+// distinct NaN payloads, which is exactly the conservatism a bit-exact
+// memo wants.
+func VectorKey(x []float64) string {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return string(b)
+}

@@ -1,0 +1,40 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVectorKeyBitExact(t *testing.T) {
+	a := []float64{1.5, -2.25, 0, 1e-300}
+	b := []float64{1.5, -2.25, 0, 1e-300}
+	if VectorKey(a) != VectorKey(b) {
+		t.Fatal("bit-identical vectors produced different keys")
+	}
+	if len(VectorKey(a)) != 8*len(a) {
+		t.Fatalf("key length %d, want %d", len(VectorKey(a)), 8*len(a))
+	}
+
+	// Any single-bit difference must change the key.
+	c := append([]float64(nil), a...)
+	c[3] = math.Nextafter(c[3], 1)
+	if VectorKey(a) == VectorKey(c) {
+		t.Fatal("adjacent floats collided")
+	}
+
+	// Signed zero and NaN payloads are distinct bit patterns: a bit-exact
+	// memo must not conflate them.
+	if VectorKey([]float64{0}) == VectorKey([]float64{math.Copysign(0, -1)}) {
+		t.Fatal("+0 and -0 collided")
+	}
+	if VectorKey(nil) != "" {
+		t.Fatal("nil vector should encode empty")
+	}
+
+	// Length is part of the key: a prefix must not collide with the
+	// shorter vector.
+	if VectorKey([]float64{1}) == VectorKey([]float64{1, 0})[:8] &&
+		VectorKey([]float64{1}) == VectorKey([]float64{1, 0}) {
+		t.Fatal("prefix collided with shorter vector")
+	}
+}

@@ -115,6 +115,16 @@ var DefaultTimeBounds = []float64{
 	100, 300, 1000, 3000, 10000, 30000, 65536,
 }
 
+// DefaultLatencyBounds suit request-serving latencies in seconds: the
+// daemon's hot predict path answers in microseconds while its cold
+// Load-per-request fallback takes milliseconds, so the buckets run
+// 1µs–10s on a 1-2.5-5 ladder. DefaultTimeBounds would fold the entire
+// hot path into its first bucket and report a useless p99.
+var DefaultLatencyBounds = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Observe records one sample. No-op on a nil receiver.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -223,6 +233,7 @@ type HistogramSnapshot struct {
 	Max   float64 `json:"max"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 	// Bounds and Counts describe the non-empty buckets: Counts[i] samples
 	// fell at or below Bounds[i]. The overflow bucket reports the observed
 	// Max as its bound so the snapshot stays finite (JSON has no +Inf).
@@ -235,7 +246,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
 		Min: h.Min(), Max: h.Max(),
-		P50: h.Quantile(0.50), P95: h.Quantile(0.95),
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 	}
 	for i := range h.counts {
 		n := h.counts[i].Load()

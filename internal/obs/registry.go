@@ -237,8 +237,8 @@ func (r *Registry) Report() string {
 		b.WriteString("histograms:\n")
 		for _, k := range sortedKeys(snap.Histograms) {
 			h := snap.Histograms[k]
-			fmt.Fprintf(&b, "  %-42s n=%d mean=%.4g p50=%.4g p95=%.4g max=%.4g\n",
-				k, h.Count, h.Mean, h.P50, h.P95, h.Max)
+			fmt.Fprintf(&b, "  %-42s n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g\n",
+				k, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
 		}
 	}
 	if len(snap.Series) > 0 {

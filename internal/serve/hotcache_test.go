@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hm"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// hotDim is the feature dimensionality the cache unit tests train at
+// (arbitrary: the cache is agnostic to it).
+const hotDim = 3
+
+// saveTinyModel trains a small hm model whose predictions scale with
+// scale — so different registered versions are distinguishable — and
+// registers it as the next version of name.
+func saveTinyModel(t *testing.T, reg *ModelRegistry, name string, scale float64, seed int64) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := model.NewDataset(nil)
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 5, rng.Float64() * 100}
+		ds.Add(x, scale*(1+x[0]+0.5*x[1])*(1+0.01*rng.NormFloat64()))
+	}
+	m, err := hm.Train(ds, hm.Options{Trees: 8, LearningRate: 0.3, TreeComplexity: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Save(name, m, ModelMeta{Backend: "hm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// loadPredict is the cold reference: a fresh registry decode plus one
+// Predict — what every hot-path answer must match bit for bit.
+func loadPredict(t *testing.T, reg *ModelRegistry, name string, version int, x []float64) float64 {
+	t.Helper()
+	m, _, err := reg.Load(name, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Predict(x)
+}
+
+// TestHotCacheEvictionLRU pins the LRU bound: the latest version is
+// always pinned, old versions beyond KeepOldVersions evict least
+// recently used first, and an evicted version re-faults correctly —
+// with the serve.modelcache.{hits,misses,evictions} counters asserted
+// at every step.
+func TestHotCacheEvictionLRU(t *testing.T) {
+	reg, err := NewModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 5; v++ {
+		saveTinyModel(t, reg, "m", float64(v), int64(100+v))
+	}
+	r := obs.NewRegistry()
+	c := NewModelCache(reg, ServingOptions{KeepOldVersions: 2, CoalesceWindow: -1}, r)
+	hits := r.Counter("serve.modelcache.hits")
+	misses := r.Counter("serve.modelcache.misses")
+	evictions := r.Counter("serve.modelcache.evictions")
+	x := []float64{3, 2, 50}
+
+	get := func(version int) *hotModel {
+		t.Helper()
+		h, err := c.Entry("m", version)
+		if err != nil {
+			t.Fatalf("Entry(m, %d): %v", version, err)
+		}
+		return h
+	}
+	check := func(step string, wantHits, wantMisses, wantEvictions int64) {
+		t.Helper()
+		if hits.Value() != wantHits || misses.Value() != wantMisses || evictions.Value() != wantEvictions {
+			t.Fatalf("%s: hits/misses/evictions = %d/%d/%d, want %d/%d/%d", step,
+				hits.Value(), misses.Value(), evictions.Value(), wantHits, wantMisses, wantEvictions)
+		}
+	}
+
+	if h := get(0); h.Meta().Version != 5 {
+		t.Fatalf("version 0 resolved v%d, want v5", h.Meta().Version)
+	}
+	check("fault latest", 0, 1, 0)
+	get(5) // the latest is pinned under its own version too
+	check("latest by version", 1, 1, 0)
+	get(1)
+	get(2)
+	check("two old versions fit", 1, 3, 0)
+	get(3) // third old version: v1 is the LRU
+	check("evict v1", 1, 4, 1)
+	get(2) // refresh v2's recency
+	check("v2 still pinned", 2, 4, 1)
+	get(4) // v3 is now LRU
+	check("evict v3", 2, 5, 2)
+	if h := get(3); h.Meta().Version != 3 { // re-fault evicted v3; v2 is LRU
+		t.Fatalf("re-fault resolved v%d, want v3", h.Meta().Version)
+	}
+	check("re-fault v3, evict v2", 2, 6, 3)
+	get(0)
+	check("latest never evicted", 3, 6, 3)
+	if got := c.Pinned(); got != 3 { // v5 (latest) + v4, v3
+		t.Fatalf("Pinned() = %d, want 3", got)
+	}
+
+	// Every pinned or re-faulted version predicts exactly what a fresh
+	// disk decode predicts.
+	for _, v := range []int{1, 3, 5} {
+		if got, want := get(v).Predict(x), loadPredict(t, reg, "m", v, x); got != want {
+			t.Fatalf("v%d: hot path predicts %v, fresh load predicts %v", v, got, want)
+		}
+	}
+}
+
+// TestHotCacheRefreshSwap pins the registration hook: after Save fires
+// SetOnSave→Refresh, version-0 reads resolve the new version with zero
+// misses (the swap pre-pins it), the previous version stays reachable
+// explicitly, and the two versions really are different models.
+func TestHotCacheRefreshSwap(t *testing.T) {
+	reg, err := NewModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	c := NewModelCache(reg, ServingOptions{CoalesceWindow: -1}, r)
+	reg.SetOnSave(c.Refresh)
+	x := []float64{3, 2, 50}
+
+	saveTinyModel(t, reg, "m", 1, 201)
+	h1, err := c.Entry("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Meta().Version != 1 {
+		t.Fatalf("resolved v%d, want v1", h1.Meta().Version)
+	}
+	if r.Counter("serve.modelcache.misses").Value() != 0 {
+		t.Fatal("refresh hook should have pre-pinned v1: first read must not fault")
+	}
+
+	saveTinyModel(t, reg, "m", 3, 202)
+	h2, err := c.Entry("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Meta().Version != 2 {
+		t.Fatalf("after retrain, version 0 resolved v%d, want v2", h2.Meta().Version)
+	}
+	if r.Counter("serve.modelcache.misses").Value() != 0 {
+		t.Fatal("swapped-in version must not fault")
+	}
+	old, err := c.Entry("m", 1)
+	if err != nil {
+		t.Fatalf("previous version no longer reachable: %v", err)
+	}
+	p1, p2 := old.Predict(x), h2.Predict(x)
+	if p1 == p2 {
+		t.Fatalf("v1 and v2 predict identically (%v): swap did not change the model", p1)
+	}
+	if want := loadPredict(t, reg, "m", 2, x); p2 != want {
+		t.Fatalf("swapped model predicts %v, fresh load %v", p2, want)
+	}
+}
+
+// TestCoalescerBatchesConcurrentPredicts drives one pinned model from
+// many goroutines through a wide coalescing window and asserts (a) the
+// requests really were gathered into shared PredictBatch calls, and
+// (b) every answer is bit-identical to the per-row reference — batch
+// composition is scheduling-dependent, results are not.
+func TestCoalescerBatchesConcurrentPredicts(t *testing.T) {
+	reg, err := NewModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveTinyModel(t, reg, "m", 2, 301)
+	r := obs.NewRegistry()
+	c := NewModelCache(reg, ServingOptions{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 64}, r)
+	h, err := c.Entry("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 48
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, n)
+	want := make([]float64, n)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 10, rng.Float64() * 5, rng.Float64() * 100}
+		want[i] = loadPredict(t, reg, "m", 1, rows[i])
+	}
+
+	got := make([]float64, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i] = h.Predict(rows[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: coalesced predict %v, reference %v", i, got[i], want[i])
+		}
+	}
+	batches := r.Counter("serve.predict.batches").Value()
+	if batches == 0 || batches >= n {
+		t.Fatalf("%d predicts flushed as %d batches: no coalescing happened", n, batches)
+	}
+	if max := r.Histogram("serve.predict.batch_size", nil).Max(); max < 2 {
+		t.Fatalf("largest coalesced batch held %.0f rows, want >= 2", max)
+	}
+
+	// The memo short-circuits repeats: same exact bits, same answer,
+	// no second model walk.
+	miss := r.Counter("serve.predict.memo.misses").Value()
+	if again := h.Predict(rows[0]); again != want[0] {
+		t.Fatalf("memoized repeat predicts %v, want %v", again, want[0])
+	}
+	if r.Counter("serve.predict.memo.misses").Value() != miss {
+		t.Fatal("repeat of an identical vector missed the memo")
+	}
+	if r.Counter("serve.predict.memo.hits").Value() == 0 {
+		t.Fatal("memo hit counter never moved")
+	}
+}

@@ -60,6 +60,9 @@ type ModelRegistry struct {
 	dir      string
 	backends *model.BackendRegistry
 	mu       sync.Mutex
+	// onSave, when set, runs after every successful Save, outside the
+	// registry lock — the hot cache's Refresh hook (hotcache.go).
+	onSave func(name string)
 }
 
 // NewModelRegistry opens (creating if needed) the registry rooted at dir,
@@ -102,9 +105,33 @@ func validName(name string) error {
 	return nil
 }
 
+// SetOnSave registers a hook invoked (outside the registry lock) after
+// every successful Save with the saved model's name. The daemon points
+// it at its hot cache's Refresh so new versions swap in as they land.
+func (r *ModelRegistry) SetOnSave(fn func(name string)) {
+	r.mu.Lock()
+	r.onSave = fn
+	r.mu.Unlock()
+}
+
 // Save persists m as the next version of name through the backend named
-// by meta.Backend (default hm) and returns that version.
+// by meta.Backend (default hm) and returns that version, then fires the
+// SetOnSave hook.
 func (r *ModelRegistry) Save(name string, m model.Model, meta ModelMeta) (int, error) {
+	version, err := r.save(name, m, meta)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	hook := r.onSave
+	r.mu.Unlock()
+	if hook != nil {
+		hook(name)
+	}
+	return version, nil
+}
+
+func (r *ModelRegistry) save(name string, m model.Model, meta ModelMeta) (int, error) {
 	if err := validName(name); err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/conf"
 	"repro/internal/model"
@@ -30,17 +31,54 @@ type Server struct {
 	manager *Manager
 	obs     *obs.Registry
 	mux     *http.ServeMux
+	// cache is the hot serving path (hotcache.go); nil when
+	// ServingOptions.Disabled routes predicts through registry.Load.
+	cache *ModelCache
+	space *conf.Space
+
+	predicts       *obs.Counter
+	predictLatency *obs.Histogram
+}
+
+// ServerOptions configure NewServerOpts beyond the data directory.
+type ServerOptions struct {
+	// Workers bounds concurrent jobs (min 1).
+	Workers int
+	// Obs receives the daemon's metrics; nil runs without metrics.
+	Obs *obs.Registry
+	// Serving tunes the hot predict path (hotcache.go).
+	Serving ServingOptions
 }
 
 // NewServer opens dataDir (creating the layout if needed), adopts
-// persisted jobs, and starts the worker pool. reg may be nil to run
-// without metrics; /metrics then reports an empty registry.
+// persisted jobs, and starts the worker pool with default serving
+// options. reg may be nil to run without metrics; /metrics then reports
+// an empty registry.
 func NewServer(dataDir string, workers int, reg *obs.Registry) (*Server, error) {
-	mgr, err := NewManager(dataDir, workers, reg)
+	return NewServerOpts(dataDir, ServerOptions{Workers: workers, Obs: reg})
+}
+
+// NewServerOpts is NewServer with explicit serving options.
+func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
+	mgr, err := NewManager(dataDir, opt.Workers, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{manager: mgr, obs: reg, mux: http.NewServeMux()}
+	reg := opt.Obs
+	s := &Server{
+		manager:        mgr,
+		obs:            reg,
+		mux:            http.NewServeMux(),
+		space:          conf.StandardSpace(),
+		predicts:       reg.Counter("serve.predicts"),
+		predictLatency: reg.Histogram("serve.predict.latency", obs.DefaultLatencyBounds),
+	}
+	if !opt.Serving.Disabled {
+		s.cache = NewModelCache(mgr.Models(), opt.Serving, reg)
+		// New registrations (train/tune jobs) swap into the cache as
+		// they land, so version-0 predicts follow retrains immediately.
+		mgr.Models().SetOnSave(s.cache.Refresh)
+	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
@@ -56,6 +94,9 @@ func NewServer(dataDir string, workers int, reg *obs.Registry) (*Server, error) 
 
 // Manager exposes the job manager (tests and the CLI use it directly).
 func (s *Server) Manager() *Manager { return s.manager }
+
+// Cache exposes the hot-model cache (nil when serving is disabled).
+func (s *Server) Cache() *ModelCache { return s.cache }
 
 // Close shuts the worker pool down; see Manager.Close for durability.
 func (s *Server) Close() { s.manager.Close() }
@@ -155,8 +196,10 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 
 // predictRequest asks a registered model for a prediction. The
 // configuration starts from the space default; Config overrides
-// individual parameters by name. The datasize is given in MB, or in the
-// workload's units when Workload is set.
+// individual parameters by name. Vector gives the full encoded
+// configuration instead — a request carrying both is ambiguous and
+// rejected. The datasize is given in MB, or in the workload's units when
+// Workload is set.
 type predictRequest struct {
 	Version   int                `json:"version,omitempty"` // 0 = latest
 	DsizeMB   float64            `json:"dsize_mb,omitempty"`
@@ -167,29 +210,51 @@ type predictRequest struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	name := r.PathValue("name")
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding predict request: %w", err))
 		return
 	}
-	mdl, meta, err := s.manager.Models().Load(name, req.Version)
+	if req.Vector != nil && len(req.Config) > 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("ambiguous request: give either vector or config, not both"))
+		return
+	}
+	// Resolve the model first: an unknown model or version is 404
+	// regardless of what else is wrong with the request. The hot path
+	// resolves from the pinned cache — one atomic load on a hit; the
+	// disabled path is the original Load-per-request decode.
+	var (
+		meta ModelMeta
+		hot  *hotModel
+		mdl  model.Model
+		err  error
+	)
+	if s.cache != nil {
+		hot, err = s.cache.Entry(name, req.Version)
+		if err == nil {
+			meta = hot.Meta()
+		}
+	} else {
+		mdl, meta, err = s.manager.Models().Load(name, req.Version)
+	}
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	space := conf.StandardSpace()
 	var cfg conf.Config
 	if req.Vector != nil {
-		cfg, err = space.FromVector(req.Vector)
+		cfg, err = s.space.FromVector(req.Vector)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	} else {
-		cfg = space.Default()
+		cfg = s.space.Default()
 		for k, v := range req.Config {
-			if _, ok := space.Index(k); !ok {
+			if _, ok := s.space.Index(k); !ok {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown parameter %q", k))
 				return
 			}
@@ -214,12 +279,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	x := append(cfg.Vector(), dsize)
-	s.obs.Counter("serve.predicts").Inc()
+	var pred float64
+	if hot != nil {
+		pred = hot.Predict(x)
+	} else {
+		pred = mdl.Predict(x)
+	}
+	s.predicts.Inc()
+	s.predictLatency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":         meta.Name,
 		"version":       meta.Version,
 		"dsize_mb":      dsize,
-		"predicted_sec": mdl.Predict(x),
+		"predicted_sec": pred,
 	})
 }
 
