@@ -18,6 +18,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/rf"
 	"repro/internal/sparksim"
+	"repro/internal/tree"
 	"repro/internal/workloads"
 )
 
@@ -29,16 +30,32 @@ type benchResult struct {
 	Speedup    float64 `json:"speedup"`
 }
 
-// benchReport is the BENCH_model.json schema. GOMAXPROCS is recorded
-// because the hm_fit and rf_fit pairs parallelize across cores: on a
-// single-core runner their speedup reflects only the batched-update wins,
-// while ga_search and predict_batch gain from cache locality and the
-// genome memo cache regardless of core count.
-type benchReport struct {
+// benchEnv is the wall-clock context a benchmark ran under, shared by
+// the BENCH_model.json and BENCH_serve.json schemas. Speedups are only
+// comparable between runs whose env matches: the hm_fit and rf_fit
+// pairs parallelize across cores, so on a single-core runner their
+// speedup reflects only the batched-update wins, while ga_search,
+// predict_batch and tree_grow gain from cache locality and algorithmic
+// cuts regardless of core count.
+type benchEnv struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"numcpu"`
 	GoVersion  string `json:"go_version"`
-	Quick      bool   `json:"quick"`
+}
+
+// currentBenchEnv snapshots the running process's environment.
+func currentBenchEnv() benchEnv {
+	return benchEnv{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// benchReport is the BENCH_model.json schema.
+type benchReport struct {
+	benchEnv
+	Quick bool `json:"quick"`
 	// Model is the backend the predict_batch and ga_search pairs query
 	// (-model flag; default hm).
 	Model   string        `json:"model"`
@@ -92,11 +109,28 @@ func benchSpaceModel(backendName string, trees int, window int, quick bool) (mod
 	return b.Train(ds, model.TrainOpts{Seed: 1, Quick: quick})
 }
 
+// benchRounds is how many interleaved rounds runPair measures per side.
+// Each side reports its best round: the minimum is the standard
+// estimator for noisy shared boxes, where one slow round (GC, a
+// neighbor stealing the core) would otherwise flip a small real speedup
+// into an apparent regression. Interleaving (s,p,s,p,...) keeps slow
+// phases of the machine from landing entirely on one side.
+const benchRounds = 3
+
 // runPair benchmarks the serial reference against the optimized path.
 func runPair(name string, serial, parallel func(b *testing.B)) benchResult {
-	s := testing.Benchmark(serial)
-	p := testing.Benchmark(parallel)
-	res := benchResult{Name: name, SerialNs: s.NsPerOp(), ParallelNs: p.NsPerOp()}
+	best := func(r, prev int64) int64 {
+		if prev == 0 || r < prev {
+			return r
+		}
+		return prev
+	}
+	var sNs, pNs int64
+	for r := 0; r < benchRounds; r++ {
+		sNs = best(testing.Benchmark(serial).NsPerOp(), sNs)
+		pNs = best(testing.Benchmark(parallel).NsPerOp(), pNs)
+	}
+	res := benchResult{Name: name, SerialNs: sNs, ParallelNs: pNs}
 	if res.ParallelNs > 0 {
 		res.Speedup = float64(res.SerialNs) / float64(res.ParallelNs)
 	}
@@ -142,11 +176,9 @@ func cmdBench(args []string) error {
 	}
 
 	rep := benchReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		Quick:      *quick,
-		Model:      *backendName,
+		benchEnv: currentBenchEnv(),
+		Quick:    *quick,
+		Model:    *backendName,
 	}
 	fmt.Printf("GOMAXPROCS=%d numcpu=%d %s quick=%v model=%s\n",
 		rep.GOMAXPROCS, rep.NumCPU, rep.GoVersion, *quick, rep.Model)
@@ -170,6 +202,30 @@ func cmdBench(args []string) error {
 				if _, err := hm.Train(hmDS, hmOpt); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}))
+
+	// tree_grow pairs the exact per-node histogram scan against the
+	// sibling-subtraction fast path on the same single-tree workload as
+	// BenchmarkGrowTC5: one boosting sub-model (tc=5) over the hm_fit
+	// design matrix. This is the inner loop hm executes nt times, so its
+	// speedup compounds directly into hm_fit.
+	treeBuilder := tree.NewBuilder(hmDS.Features)
+	treeIdx := make([]int, hmDS.Len())
+	for i := range treeIdx {
+		treeIdx[i] = i
+	}
+	rep.Results = append(rep.Results, runPair("tree_grow",
+		func(b *testing.B) {
+			opt := tree.Options{MaxSplits: 5, ExactHistograms: true}
+			for i := 0; i < b.N; i++ {
+				treeBuilder.Grow(hmDS.Targets, treeIdx, opt, nil)
+			}
+		},
+		func(b *testing.B) {
+			opt := tree.Options{MaxSplits: 5}
+			for i := 0; i < b.N; i++ {
+				treeBuilder.Grow(hmDS.Targets, treeIdx, opt, nil)
 			}
 		}))
 
@@ -219,8 +275,10 @@ func cmdBench(args []string) error {
 	rfDS := benchDataset(1000, 12, 3)
 	rep.Results = append(rep.Results, runPair("rf_fit",
 		func(b *testing.B) {
+			// The serial reference also runs the exact histogram scan, so
+			// the pair captures both the parallel-fit and fast-tree wins.
 			for i := 0; i < b.N; i++ {
-				if _, err := rf.Train(rfDS, rf.Options{Trees: rfTrees, Seed: 1, Workers: 1}); err != nil {
+				if _, err := rf.Train(rfDS, rf.Options{Trees: rfTrees, Seed: 1, Workers: 1, ExactHistograms: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -29,15 +28,15 @@ type serveSideReport struct {
 	P99Us    float64 `json:"p99_us"`
 	MaxUs    float64 `json:"max_us"`
 
-	CacheHits  int64   `json:"cache_hits,omitempty"`
-	CacheMiss  int64   `json:"cache_misses,omitempty"`
-	MemoHits   int64   `json:"memo_hits,omitempty"`
-	MemoMiss   int64   `json:"memo_misses,omitempty"`
-	Batches    int64   `json:"batches,omitempty"`
-	MeanBatch  float64 `json:"mean_batch,omitempty"`
-	MaxBatch   float64 `json:"max_batch,omitempty"`
-	HitRate    float64 `json:"cache_hit_rate,omitempty"`
-	MemoRate   float64 `json:"memo_hit_rate,omitempty"`
+	CacheHits int64   `json:"cache_hits,omitempty"`
+	CacheMiss int64   `json:"cache_misses,omitempty"`
+	MemoHits  int64   `json:"memo_hits,omitempty"`
+	MemoMiss  int64   `json:"memo_misses,omitempty"`
+	Batches   int64   `json:"batches,omitempty"`
+	MeanBatch float64 `json:"mean_batch,omitempty"`
+	MaxBatch  float64 `json:"max_batch,omitempty"`
+	HitRate   float64 `json:"cache_hit_rate,omitempty"`
+	MemoRate  float64 `json:"memo_hit_rate,omitempty"`
 }
 
 // serveBenchReport is the BENCH_serve.json schema: the same load driven
@@ -45,9 +44,7 @@ type serveSideReport struct {
 // and against the original Load-per-request baseline, from the same
 // number of concurrent HTTP clients.
 type serveBenchReport struct {
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	NumCPU      int     `json:"numcpu"`
-	GoVersion   string  `json:"go_version"`
+	benchEnv
 	Quick       bool    `json:"quick"`
 	Clients     int     `json:"clients"`
 	DurationSec float64 `json:"duration_sec"`
@@ -143,9 +140,7 @@ func benchServe(jsonPath string, quick bool, clients, vectors int, duration time
 		modelTrees, modelWindow = 240, 600
 	}
 	rep := serveBenchReport{
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		GoVersion:   runtime.Version(),
+		benchEnv:    currentBenchEnv(),
 		Quick:       quick,
 		Clients:     clients,
 		DurationSec: duration.Seconds(),

@@ -32,6 +32,7 @@ func cmdServe(args []string) error {
 	coalesceWindow := fs.Duration("coalesce-window", 0, "predict micro-batch gather window (0 = default 200µs, negative = flush immediately)")
 	keepVersions := fs.Int("keep-versions", 0, "old model versions kept hot beside the latest (0 = default 4, negative = none)")
 	noHotPath := fs.Bool("no-hot-path", false, "disable the serving cache: decode the model from disk on every predict")
+	memoCap := fs.Int("memo-cap", 0, "max memoized prediction vectors per hot model version (0 = default 262144, negative = unbounded)")
 	fs.Parse(args)
 
 	reg := obs.NewRegistry()
@@ -42,6 +43,7 @@ func cmdServe(args []string) error {
 			Disabled:        *noHotPath,
 			CoalesceWindow:  *coalesceWindow,
 			KeepOldVersions: *keepVersions,
+			MemoCap:         *memoCap,
 		},
 	})
 	if err != nil {

@@ -3,6 +3,8 @@ package ga
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // GenomeCache memoizes objective values keyed on the exact gene bits of a
@@ -21,6 +23,13 @@ import (
 type GenomeCache struct {
 	shards []cacheShard
 	mask   uint64
+	// perShard bounds each shard's entry count (0 = unbounded). On
+	// overflow a shard evicts roughly half its entries — map iteration
+	// order stands in for random replacement, which is cheap (no
+	// recency bookkeeping on the hot Lookup path) and good enough for a
+	// memo whose keys recur with no particular locality.
+	perShard  int
+	evictions *obs.Counter // nil-safe; counts evicted entries
 }
 
 type cacheShard struct {
@@ -28,14 +37,28 @@ type cacheShard struct {
 	m  map[string]float64
 }
 
-// NewGenomeCache returns an empty cache with GOMAXPROCS-proportional
-// sharding.
+// NewGenomeCache returns an empty unbounded cache with
+// GOMAXPROCS-proportional sharding.
 func NewGenomeCache() *GenomeCache {
+	return NewGenomeCacheCap(0, nil)
+}
+
+// NewGenomeCacheCap returns an empty cache holding at most maxEntries
+// memoized genomes (0 or negative = unbounded), spread over
+// GOMAXPROCS-proportional shards. evictions, when non-nil, is
+// incremented once per entry dropped by the cap.
+func NewGenomeCacheCap(maxEntries int, evictions *obs.Counter) *GenomeCache {
 	n := 1
 	for n < runtime.GOMAXPROCS(0) {
 		n <<= 1
 	}
-	c := &GenomeCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	c := &GenomeCache{shards: make([]cacheShard, n), mask: uint64(n - 1), evictions: evictions}
+	if maxEntries > 0 {
+		c.perShard = (maxEntries + n - 1) / n
+		if c.perShard < 1 {
+			c.perShard = 1
+		}
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]float64)
 	}
@@ -66,10 +89,25 @@ func (c *GenomeCache) Lookup(key string) (float64, bool) {
 	return v, ok
 }
 
-// Store memoizes the value for the genome key.
+// Store memoizes the value for the genome key, evicting ~half of the
+// key's shard first when storing a new key into a full shard.
 func (c *GenomeCache) Store(key string, v float64) {
 	s := c.shard(key)
 	s.mu.Lock()
+	if c.perShard > 0 && len(s.m) >= c.perShard {
+		if _, exists := s.m[key]; !exists {
+			drop := len(s.m) - c.perShard/2
+			evicted := int64(0)
+			for k := range s.m {
+				if evicted >= int64(drop) {
+					break
+				}
+				delete(s.m, k)
+				evicted++
+			}
+			c.evictions.Add(evicted)
+		}
+	}
 	s.m[key] = v
 	s.mu.Unlock()
 }

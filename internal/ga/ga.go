@@ -87,12 +87,21 @@ type Options struct {
 	Obs *obs.Registry
 }
 
-// workers resolves the effective evaluation parallelism.
+// workers resolves the effective evaluation parallelism. The default is
+// capped at NumCPU as well as GOMAXPROCS: splitting a CPU-bound batch
+// across more goroutines than physical CPUs (a common state in
+// CPU-quota containers where GOMAXPROCS exceeds the quota) only
+// interleaves the chunks' cache footprints. The search result is
+// identical for any worker count, so the cap is purely a speed matter.
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	w := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < w {
+		w = n
+	}
+	return w
 }
 
 func (o Options) withDefaults() Options {

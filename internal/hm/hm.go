@@ -66,10 +66,20 @@ type Options struct {
 	Workers int
 	// NoBatch restores the row-at-a-time reference update path: float
 	// tree walks per training row instead of binned tree-at-a-time
-	// accumulation. The trained model is bit-identical either way; the
-	// flag exists so benchmarks and equivalence tests can compare the
-	// batched pipeline against the pre-optimization baseline.
+	// accumulation, and (via tree.Options) the exact per-node histogram
+	// scan instead of the sibling-subtraction fast path. Predictions of
+	// the two modes agree within the tolerance documented in DESIGN.md
+	// §13 (the fast tree scan uses reciprocal-table arithmetic, so a
+	// split whose gain ties another within rounding noise may resolve
+	// differently); each mode on its own is deterministic for any
+	// Workers/GOMAXPROCS. The flag exists so benchmarks and equivalence
+	// tests can compare against the pre-optimization baseline.
 	NoBatch bool
+	// ExactHistograms grows trees with the reference per-node histogram
+	// scan while keeping the batched update path — unlike NoBatch it
+	// changes only tree growth, letting tests isolate the two contracts
+	// (DESIGN.md §13). NoBatch implies it.
+	ExactHistograms bool
 	// Seed drives bootstrapping and the train/validation split.
 	Seed int64
 	// Obs, when non-nil, receives training metrics: trees grown,
@@ -103,12 +113,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// workers resolves the effective training parallelism.
+// workers resolves the effective training parallelism. The default is
+// capped at NumCPU as well as GOMAXPROCS: CPU-bound fits and split
+// scans gain nothing from more goroutines than physical CPUs (a common
+// state in CPU-quota containers where GOMAXPROCS exceeds the quota).
+// The trained model is identical for any worker count, so the cap is
+// purely a speed matter.
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	w := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < w {
+		w = n
+	}
+	return w
 }
 
 // firstOrder is one boosted-tree model: base + lr·Σ trees.
@@ -351,10 +370,11 @@ func (t *trainer) boost(fo *firstOrder, pred, valPred []float64, budget int, rng
 	n := t.train.Len()
 	resid := make([]float64, n)
 	gOpt := tree.Options{
-		MaxSplits: t.opt.TreeComplexity,
-		MinLeaf:   t.opt.MinLeaf,
-		Workers:   t.opt.workers(),
-		NoBatch:   t.opt.NoBatch,
+		MaxSplits:       t.opt.TreeComplexity,
+		MinLeaf:         t.opt.MinLeaf,
+		Workers:         t.opt.workers(),
+		NoBatch:         t.opt.NoBatch,
+		ExactHistograms: t.opt.ExactHistograms,
 	}
 
 	grown := 0

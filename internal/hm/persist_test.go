@@ -35,6 +35,44 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLegacySnapshotLoadsBitIdentically pins backward compatibility
+// with snapshots written before the fast histogram path existed: a
+// model trained under ExactHistograms grows byte-for-byte the same
+// trees the reference implementation always did, so its snapshot
+// stands in for a legacy v2 stream. It must load with bit-identical
+// predictions, and the loaded model must resume training on the new
+// fast path without error.
+func TestLegacySnapshotLoadsBitIdentically(t *testing.T) {
+	ds := synthDS(500, 43)
+	m, err := Train(ds, Options{Trees: 120, LearningRate: 0.1, TreeComplexity: 5,
+		Seed: 7, ExactHistograms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	for k := 0; k < 200; k++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		if a, b := m.Predict(x), back.Predict(x); a != b {
+			t.Fatalf("legacy-shape snapshot predicts differently after reload: %v != %v", a, b)
+		}
+	}
+	// Resuming a legacy-shape model uses the fast path by default.
+	if err := Resume(back, ds, Options{Trees: 140, LearningRate: 0.1, TreeComplexity: 5, Seed: 7}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTrees() <= m.NumTrees() {
+		t.Fatalf("resume grew no trees: %d -> %d", m.NumTrees(), back.NumTrees())
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
 		t.Error("garbage should fail to load")

@@ -106,7 +106,9 @@ func TestResumeLegacyV1Snapshot(t *testing.T) {
 // model bit-identical to the binned replay.
 func TestResumeBinnedMatchesFloatReplay(t *testing.T) {
 	ds := synthDS(500, 95)
-	opt := Options{Trees: 80, LearningRate: 0.1, TreeComplexity: 5, Seed: 13}
+	// ExactHistograms on both sides keeps tree growth identical (NoBatch
+	// implies it), so the comparison isolates the replay paths alone.
+	opt := Options{Trees: 80, LearningRate: 0.1, TreeComplexity: 5, Seed: 13, ExactHistograms: true}
 	a, err := Train(ds, opt)
 	if err != nil {
 		t.Fatal(err)

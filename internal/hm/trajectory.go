@@ -48,7 +48,7 @@ func Trajectory(ds *model.Dataset, opt Options, checkpoints []int) ([]float64, e
 		valPred[i] = base
 	}
 	resid := make([]float64, n)
-	gOpt := tree.Options{MaxSplits: opt.TreeComplexity, MinLeaf: opt.MinLeaf, Workers: opt.workers(), NoBatch: opt.NoBatch}
+	gOpt := tree.Options{MaxSplits: opt.TreeComplexity, MinLeaf: opt.MinLeaf, Workers: opt.workers(), NoBatch: opt.NoBatch, ExactHistograms: opt.ExactHistograms}
 
 	errAt := make(map[int]float64, len(sorted))
 	next := 0

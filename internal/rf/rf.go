@@ -36,14 +36,28 @@ type Options struct {
 	Workers int
 	// Seed drives bagging and feature sampling.
 	Seed int64
+	// ExactHistograms grows trees with the reference per-node histogram
+	// scan instead of the sibling-subtraction fast path (see
+	// tree.Options.ExactHistograms and DESIGN.md §13). Benchmarks and
+	// equivalence tests only.
+	ExactHistograms bool
 }
 
-// workers resolves the effective training parallelism.
+// workers resolves the effective training parallelism. The default is
+// capped at NumCPU as well as GOMAXPROCS: tree growing is purely
+// CPU-bound, so running more growers than physical CPUs (a common state
+// in CPU-quota containers where GOMAXPROCS exceeds the quota) only adds
+// scheduler churn. Results are identical for any worker count — seeds
+// are pre-assigned per tree — so the cap is purely a speed matter.
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	w := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < w {
+		w = n
+	}
+	return w
 }
 
 func (o Options) withDefaults() Options {
@@ -168,7 +182,7 @@ func Train(ds *model.Dataset, opt Options) (*Forest, error) {
 		seeds[k] = rng.Int63()
 	}
 	builder := tree.NewBuilder(ds.Features)
-	gOpt := tree.Options{MaxSplits: opt.MaxSplits, MinLeaf: opt.MinLeaf, FeatureFrac: opt.FeatureFrac}
+	gOpt := tree.Options{MaxSplits: opt.MaxSplits, MinLeaf: opt.MinLeaf, FeatureFrac: opt.FeatureFrac, ExactHistograms: opt.ExactHistograms}
 	f := &Forest{log: !opt.NoLogTarget, trees: make([]*tree.Tree, opt.Trees)}
 	grow := func(k int) {
 		trng := rand.New(rand.NewSource(seeds[k]))

@@ -42,12 +42,19 @@ type ServingOptions struct {
 	// pinned; the least recently used is evicted first. The latest
 	// version is always pinned. Default 4; negative keeps none.
 	KeepOldVersions int
+	// MemoCap bounds each pinned version's prediction memo entry count
+	// (default 1<<18 ≈ 260k vectors ≈ tens of MB per hot version;
+	// negative = unbounded). Overflow evicts cheaply — see
+	// ga.NewGenomeCacheCap — and is counted in
+	// serve.predict.memo.evictions.
+	MemoCap int
 }
 
 const (
 	defaultCoalesceWindow  = 200 * time.Microsecond
 	defaultMaxBatch        = 64
 	defaultKeepOldVersions = 4
+	defaultMemoCap         = 1 << 18
 )
 
 // withDefaults resolves the zero-value knobs.
@@ -66,6 +73,12 @@ func (o ServingOptions) withDefaults() ServingOptions {
 	}
 	if o.KeepOldVersions < 0 {
 		o.KeepOldVersions = 0
+	}
+	if o.MemoCap == 0 {
+		o.MemoCap = defaultMemoCap
+	}
+	if o.MemoCap < 0 {
+		o.MemoCap = 0 // unbounded
 	}
 	return o
 }
@@ -130,7 +143,9 @@ type ModelCache struct {
 	mu    sync.Mutex // writers only: fault, refresh, eviction
 
 	hits, misses, evictions *obs.Counter
+	warmed                  *obs.Counter
 	memoHits, memoMisses    *obs.Counter
+	memoEvictions           *obs.Counter
 	batches                 *obs.Counter
 	batchSize               *obs.Histogram
 }
@@ -145,15 +160,17 @@ var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 // the pinned latest and fault lazily.
 func NewModelCache(reg *ModelRegistry, opt ServingOptions, r *obs.Registry) *ModelCache {
 	c := &ModelCache{
-		reg:        reg,
-		opt:        opt.withDefaults(),
-		hits:       r.Counter("serve.modelcache.hits"),
-		misses:     r.Counter("serve.modelcache.misses"),
-		evictions:  r.Counter("serve.modelcache.evictions"),
-		memoHits:   r.Counter("serve.predict.memo.hits"),
-		memoMisses: r.Counter("serve.predict.memo.misses"),
-		batches:    r.Counter("serve.predict.batches"),
-		batchSize:  r.Histogram("serve.predict.batch_size", batchSizeBounds),
+		reg:           reg,
+		opt:           opt.withDefaults(),
+		hits:          r.Counter("serve.modelcache.hits"),
+		misses:        r.Counter("serve.modelcache.misses"),
+		evictions:     r.Counter("serve.modelcache.evictions"),
+		warmed:        r.Counter("serve.modelcache.warmed"),
+		memoHits:      r.Counter("serve.predict.memo.hits"),
+		memoMisses:    r.Counter("serve.predict.memo.misses"),
+		memoEvictions: r.Counter("serve.predict.memo.evictions"),
+		batches:       r.Counter("serve.predict.batches"),
+		batchSize:     r.Histogram("serve.predict.batch_size", batchSizeBounds),
 	}
 	c.state.Store(&cacheState{
 		byKey:  map[modelKey]*hotModel{},
@@ -217,7 +234,7 @@ func (c *ModelCache) newHotModel(mdl model.Model, meta ModelMeta) *hotModel {
 	h := &hotModel{
 		model: mdl,
 		meta:  meta,
-		memo:  ga.NewGenomeCache(),
+		memo:  ga.NewGenomeCacheCap(c.opt.MemoCap, c.memoEvictions),
 		co: &coalescer{
 			window:   c.opt.CoalesceWindow,
 			maxBatch: c.opt.MaxBatch,
@@ -296,6 +313,29 @@ func (c *ModelCache) Refresh(name string) {
 		return
 	}
 	c.installLocked(c.newHotModel(mdl, meta))
+}
+
+// WarmAll pins every model's current registry latest — daemon-startup
+// warmup, so the first predict after a restart is answered from memory
+// instead of faulting a decode on the request path. Pinned versions are
+// counted in serve.modelcache.warmed. A model that fails to load is
+// skipped (the next Entry fault retries it). Returns how many versions
+// were newly pinned.
+func (c *ModelCache) WarmAll() int {
+	metas, err := c.reg.List()
+	if err != nil {
+		return 0
+	}
+	warmed := 0
+	for _, m := range metas {
+		before := c.Pinned()
+		c.Refresh(m.Name)
+		if c.Pinned() > before {
+			warmed++
+			c.warmed.Inc()
+		}
+	}
+	return warmed
 }
 
 // Pinned reports how many decoded versions the cache currently holds

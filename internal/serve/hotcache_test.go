@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -233,5 +234,55 @@ func TestCoalescerBatchesConcurrentPredicts(t *testing.T) {
 	}
 	if r.Counter("serve.predict.memo.hits").Value() == 0 {
 		t.Fatal("memo hit counter never moved")
+	}
+}
+
+// TestWarmupPinsRegistryLatests is the S2 startup contract: opening a
+// server over a data directory that already holds registered models
+// pre-pins every model's latest version into the cache, so the first
+// predict after a daemon restart never pays a cold registry decode.
+// Asserted through the serve.modelcache.warmed counter and Pinned(),
+// the same signals the serve-smoke CI job checks.
+func TestWarmupPinsRegistryLatests(t *testing.T) {
+	dataDir := t.TempDir()
+	reg, err := NewModelRegistry(filepath.Join(dataDir, "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveTinyModel(t, reg, "alpha", 1.0, 3)
+	saveTinyModel(t, reg, "alpha", 2.0, 4) // latest of alpha is v2
+	saveTinyModel(t, reg, "beta", 5.0, 5)
+
+	r := obs.NewRegistry()
+	s, err := NewServerOpts(dataDir, ServerOptions{Workers: 1, Obs: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if got := s.Cache().Pinned(); got != 2 {
+		t.Fatalf("Pinned()=%d after startup over 2 models, want 2", got)
+	}
+	if got := r.Counter("serve.modelcache.warmed").Value(); got != 2 {
+		t.Fatalf("serve.modelcache.warmed=%d, want 2", got)
+	}
+	// The warm entries are the registry latests, answering bit-identically
+	// to a cold decode without faulting.
+	misses := r.Counter("serve.modelcache.misses").Value()
+	x := []float64{1.5, 2.5, 30}
+	for name, version := range map[string]int{"alpha": 2, "beta": 1} {
+		h, err := s.Cache().Entry(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Meta().Version != version {
+			t.Fatalf("%s: warmed version %d, want latest %d", name, h.Meta().Version, version)
+		}
+		if got, want := h.Predict(x), loadPredict(t, s.Cache().reg, name, version, x); got != want {
+			t.Fatalf("%s: warmed predict %v, cold reference %v", name, got, want)
+		}
+	}
+	if now := r.Counter("serve.modelcache.misses").Value(); now != misses {
+		t.Fatalf("warm reads faulted: misses %d -> %d", misses, now)
 	}
 }

@@ -78,6 +78,9 @@ func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
 		// New registrations (train/tune jobs) swap into the cache as
 		// they land, so version-0 predicts follow retrains immediately.
 		mgr.Models().SetOnSave(s.cache.Refresh)
+		// Warm every registry latest now, instead of faulting decodes on
+		// the first predicts after a restart.
+		s.cache.WarmAll()
 	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)

@@ -38,11 +38,28 @@ type Options struct {
 	// serial first-maximum tie-breaking rule.
 	Workers int
 	// NoBatch restores the reference one-feature-at-a-time split scan
-	// instead of the grouped scan. The grown tree is bit-identical either
-	// way; the flag exists so benchmarks and equivalence tests can compare
-	// against the pre-optimization baseline.
+	// instead of the grouped scan, and implies ExactHistograms. The flag
+	// exists so benchmarks and equivalence tests can compare against the
+	// pre-optimization baseline.
 	NoBatch bool
+	// ExactHistograms restores the reference split search in which every
+	// node accumulates its own histogram directly from its rows. The
+	// default (false) is the fast path: without feature sampling each
+	// split builds only the smaller child's histogram and derives the
+	// larger one as parent − sibling, halving accumulation work per
+	// level. Derived sums can differ from directly-accumulated ones in
+	// the last floating-point bits, so a fast-path tree may pick a
+	// different split where two candidates' gains are within rounding
+	// noise of each other — the tolerance contract is documented in
+	// DESIGN.md §13. Both modes are deterministic for any
+	// Workers/GOMAXPROCS value.
+	ExactHistograms bool
 }
+
+// exact reports whether growth must use the reference per-node
+// histogram accumulation (NoBatch is the stricter reference mode and
+// implies it).
+func (o Options) exact() bool { return o.ExactHistograms || o.NoBatch }
 
 func (o Options) minLeaf() int {
 	if o.MinLeaf <= 0 {
@@ -206,23 +223,44 @@ const parallelScanMinWork = 1 << 14
 // binned matrix, and the attached counters are atomic.
 type Builder struct {
 	n, d        int
-	binned      [][]uint8   // [feature][row] -> bin index
+	binned      [][]uint8   // [feature][row] -> bin index (one flat backing array)
 	edges       [][]float64 // [feature][bin] -> upper threshold of bin
 	x           [][]float64 // original rows (for thresholds only)
 	allFeatures []int       // 0..d-1, reused when no feature sampling
 
-	// grown and splits are nil unless Instrument attached a registry;
-	// obs metrics no-op on nil receivers, so Grow records unconditionally.
-	grown  *obs.Counter
-	splits *obs.Counter
+	// histPool recycles full-width node histograms between Grow calls
+	// (the sibling-subtraction path retains one per expandable leaf).
+	histPool sync.Pool
+	// recip[k] = 1/k for k <= n: the fast split scan turns its two
+	// per-bin divisions into table-lookup multiplies (hist.go).
+	recip []float64
+	// rootCnt[f*maxBins+k] counts the rows in feature f's bin k over the
+	// whole matrix. Counts don't depend on targets, so a root histogram
+	// over the identity sample copies this plane and accumulates sums
+	// only (hist.go buildHist).
+	rootCnt []int32
+
+	// Metrics are nil unless Instrument attached a registry; obs metrics
+	// no-op on nil receivers, so Grow records unconditionally.
+	grown          *obs.Counter
+	splits         *obs.Counter
+	histBuilt      *obs.Counter
+	histSubtracted *obs.Counter
+	reg            *obs.Registry // grow span timing
 }
 
 // Instrument makes every subsequent Grow count trees grown and splits
-// committed in reg ("tree.grown", "tree.splits"). A nil registry
-// detaches. The counters are shared safely with any other registry user.
+// committed in reg ("tree.grown", "tree.splits"), histogram work
+// ("tree.hist.built" direct accumulations, "tree.hist.subtracted"
+// sibling derivations), and time itself under a "tree.grow" span. A nil
+// registry detaches. The counters are shared safely with any other
+// registry user.
 func (b *Builder) Instrument(reg *obs.Registry) {
 	b.grown = reg.Counter("tree.grown")
 	b.splits = reg.Counter("tree.splits")
+	b.histBuilt = reg.Counter("tree.hist.built")
+	b.histSubtracted = reg.Counter("tree.hist.subtracted")
+	b.reg = reg
 }
 
 // NewBuilder bins X (n rows × d features).
@@ -240,6 +278,12 @@ func NewBuilder(X [][]float64) *Builder {
 	for f := range b.allFeatures {
 		b.allFeatures[f] = f
 	}
+	b.histPool.New = func() any { return newHist(d) }
+	b.recip = recipTable(n)
+	// One flat backing array for all feature columns keeps the binned
+	// matrix contiguous, so a histogram build walking several columns
+	// stays within one allocation.
+	flat := make([]uint8, n*d)
 	vals := make([]float64, n)
 	for f := 0; f < d; f++ {
 		for i := 0; i < n; i++ {
@@ -256,13 +300,20 @@ func NewBuilder(X [][]float64) *Builder {
 			}
 		}
 		b.edges[f] = edges
-		col := make([]uint8, n)
+		col := flat[f*n : (f+1)*n : (f+1)*n]
 		for i := 0; i < n; i++ {
 			col[i] = uint8(sort.SearchFloat64s(edges, vals[i]))
 			// bin k means value <= edges[k] (edge k is the bin's
 			// inclusive upper threshold); the last bin is overflow.
 		}
 		b.binned[f] = col
+	}
+	b.rootCnt = make([]int32, d*maxBins)
+	for f := 0; f < d; f++ {
+		cnt := (*[maxBins]int32)(b.rootCnt[f*maxBins:])
+		for _, k := range b.binned[f] {
+			cnt[k&(maxBins-1)]++
+		}
 	}
 	return b
 }
@@ -300,9 +351,11 @@ func (b *Builder) Bin(X [][]float64) *BinMatrix {
 // trees) re-enters the binned training path.
 func BinWithEdges(edges [][]float64, X [][]float64) *BinMatrix {
 	bm := &BinMatrix{n: len(X), cols: make([][]uint8, len(edges))}
+	n := len(X)
+	flat := make([]uint8, n*len(edges))
 	for f := range edges {
 		e := edges[f]
-		col := make([]uint8, len(X))
+		col := flat[f*n : (f+1)*n : (f+1)*n]
 		for i, row := range X {
 			col[i] = uint8(sort.SearchFloat64s(e, row[f]))
 		}
@@ -328,30 +381,39 @@ func (b *Builder) Edges() [][]float64 {
 // BinMatrix. The storage is shared with the builder, not copied.
 func (b *Builder) Binned() *BinMatrix { return &BinMatrix{cols: b.binned, n: b.n} }
 
+// leafRec is one expandable leaf in the best-first frontier, carrying
+// its cached best split and, in the sibling-subtraction mode, the
+// leaf's retained histogram (hist.go).
+type leafRec struct {
+	node int32
+	idx  []int
+	gain float64
+	// cached best split; nl is the winning split's left-side row count
+	// (0 = unknown: the exact path doesn't track it, and a winning split
+	// always has nl >= minLeaf >= 1).
+	feature int
+	bin     int
+	nl      int
+	h       *hist
+}
+
 // Grow fits a regression tree to targets y (len = builder rows) over the
 // sample idx (row indices, possibly with repeats for a bootstrap sample).
 // rng drives feature subsampling and may be nil when FeatureFrac >= 1.
 func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tree {
+	sp := b.reg.StartSpan("tree.grow")
+	defer sp.End()
 	b.grown.Inc()
 	t := &Tree{}
 	if len(idx) == 0 {
 		t.addLeaf(0)
 		return t
 	}
+	g := &grower{b: b, y: y, opt: opt, rng: rng}
+	g.init(len(idx))
 	root := t.addLeaf(meanAt(y, idx))
-	type leafRec struct {
-		node int32
-		idx  []int
-		gain float64
-		// cached best split
-		feature int
-		bin     int
-	}
-	find := func(lr *leafRec) {
-		lr.gain, lr.feature, lr.bin = b.bestSplit(y, lr.idx, opt, rng)
-	}
 	first := &leafRec{node: root, idx: idx}
-	find(first)
+	g.findRoot(first)
 	leaves := []*leafRec{first}
 
 	for splits := 0; splits < opt.maxSplits(); splits++ {
@@ -377,10 +439,12 @@ func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tre
 		// slices would reallocate ~log2(n) times per split, and this loop
 		// runs once per tree node across thousands of boosted trees.
 		col, ub := b.binned[f], uint8(bin)
-		nL := 0
-		for _, i := range lr.idx {
-			if col[i] <= ub {
-				nL++
+		nL := lr.nl
+		if nL == 0 { // exact path: count the left side first
+			for _, i := range lr.idx {
+				if col[i] <= ub {
+					nL++
+				}
 			}
 		}
 		mem := make([]int, len(lr.idx))
@@ -401,11 +465,19 @@ func (b *Builder) Grow(y []float64, idx []int, opt Options, rng *rand.Rand) *Tre
 
 		leftRec := &leafRec{node: ln, idx: li}
 		rightRec := &leafRec{node: rn, idx: ri}
-		find(leftRec)
-		find(rightRec)
+		if splits+1 < opt.maxSplits() || g.exact {
+			g.findChildren(lr, leftRec, rightRec)
+		} else {
+			// Final split of the budget: these children can never be
+			// expanded, so the fast path skips their split search (and
+			// histogram work) entirely. The exact reference keeps the
+			// original always-search behavior.
+			g.releaseLeaf(lr)
+		}
 		leaves[best] = leftRec
 		leaves = append(leaves, rightRec)
 	}
+	g.release(leaves)
 	return t
 }
 
