@@ -117,7 +117,7 @@ func clientSubmit(args []string) error {
 	fs := flag.NewFlagSet("client submit", flag.ExitOnError)
 	addr := addrFlag(fs)
 	specJSON := fs.String("spec", "", "raw JobSpec JSON (overrides the individual flags)")
-	typ := fs.String("type", "tune", "job type (collect|train|search|tune)")
+	typ := fs.String("type", "tune", "job type (collect|train|search|tune|tune_online)")
 	workload := fs.String("workload", "", "workload abbreviation")
 	size := fs.Float64("size", 0, "target datasize in workload units")
 	ntrain := fs.Int("ntrain", 0, "vectors to collect")
@@ -131,6 +131,10 @@ func clientSubmit(args []string) error {
 	hmTrees := fs.Int("hm-trees", 0, "tree budget override")
 	gaPop := fs.Int("ga-pop", 0, "GA population override")
 	gaGen := fs.Int("ga-generations", 0, "GA generations override")
+	screenSamples := fs.Int("screen-samples", 0, "tune_online: screening sample count")
+	topK := fs.Int("top-k", 0, "tune_online: parameters kept tunable after screening")
+	iterations := fs.Int("iterations", 0, "tune_online: refit/search iterations")
+	iterBatch := fs.Int("iter-batch", 0, "tune_online: measured candidates per iteration")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print its final state")
 	timeout := fs.Duration("timeout", 10*time.Minute, "-wait limit")
 	fs.Parse(args)
@@ -156,6 +160,10 @@ func clientSubmit(args []string) error {
 			HMTrees:       *hmTrees,
 			GAPop:         *gaPop,
 			GAGenerations: *gaGen,
+			ScreenSamples: *screenSamples,
+			TopK:          *topK,
+			Iterations:    *iterations,
+			IterBatch:     *iterBatch,
 		}
 	}
 	base := strings.TrimRight(*addr, "/")

@@ -17,7 +17,10 @@
 //	dac tune -workload TS -size 30
 //	    Run the full pipeline in one shot and print the tuned
 //	    configuration, its predicted time, and the measured speedup over
-//	    the default and expert configurations.
+//	    the default and expert configurations. With -online, run the
+//	    importance-screened online loop instead: a small screening
+//	    sample, then alternating measure → refit → search iterations
+//	    over the influential parameters only (DESIGN.md §14).
 //
 //	dac compare -workload TS
 //	    Tune with DAC and RFHOC and print the four-way comparison across
@@ -28,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -91,6 +95,7 @@ func usage() {
   dac train   -in ts.csv -out ts.model          # fit HM on collected data
   dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
   dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1] [-model hm|rf|rs|ann|svm]
+  dac tune    -workload TS -size 30 -online [-screen 200] [-topk 10] [-iterations 8] [-iter-batch 32]
   dac show    -workload TS
   dac compare -workload TS [-ntrain 2000]
   dac importance -in ts.csv [-top 10]
@@ -250,6 +255,11 @@ func cmdTune(args []string) error {
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
 	backendName := fs.String("model", "hm", "model backend (hm|rf|rs|ann|svm)")
+	online := fs.Bool("online", false, "online importance-screened tuning: screen, then iterate measure→refit→search")
+	screen := fs.Int("screen", 0, "online: screening sample count (0 = default 200)")
+	topk := fs.Int("topk", 0, "online: parameters kept tunable after screening (0 = default 10)")
+	iterations := fs.Int("iterations", 0, "online: refit/search iterations (0 = default 8)")
+	iterBatch := fs.Int("iter-batch", 0, "online: measured candidates per iteration (0 = default 32)")
 	of := addObsFlags(fs)
 	pf := addProfFlags(fs)
 	fs.Parse(args)
@@ -275,6 +285,16 @@ func cmdTune(args []string) error {
 	}
 	lo := w.InputMB(w.Sizes[0]) * 0.8
 	hi := w.InputMB(w.Sizes[len(w.Sizes)-1]) * 1.1
+	if *online {
+		oo := core.OnlineOptions{
+			ScreenSamples: *screen,
+			TopK:          *topk,
+			Iterations:    *iterations,
+			IterBatch:     *iterBatch,
+			Guard:         core.SimOOMGuard(cluster.Standard(), &w.Program, 0),
+		}
+		return tuneOnlineCLI(w, t, units, targetMB, lo, hi, oo, of, reg)
+	}
 	fmt.Printf("tuning %s for %g %s (%.0f MB)...\n", w.Name, units, w.Unit, targetMB)
 	res, err := t.Tune(lo, hi, []float64{targetMB})
 	if err != nil {
@@ -295,6 +315,62 @@ func cmdTune(args []string) error {
 	fmt.Printf("expert:    %.1fs   (speedup %.1fx)\n", tExp, tExp/tDAC)
 	fmt.Printf("\noverhead: collecting %.1f simulated cluster hours, modeling %.1fs, searching %.1fs\n",
 		res.Overhead.CollectClusterHours, res.Overhead.ModelTrainSec, res.Overhead.SearchSec)
+	return of.emit(reg)
+}
+
+// tuneOnlineCLI drives the tune_online pipeline (DESIGN.md §14) and
+// prints the screening verdict, the per-iteration progression, and the
+// same baseline comparison cmdTune prints — so the two modes are
+// directly comparable on one terminal.
+func tuneOnlineCLI(w *workloads.Workload, t *core.Tuner, units, targetMB, lo, hi float64,
+	oo core.OnlineOptions, of obsFlags, reg *obs.Registry) error {
+	fmt.Printf("online tuning %s for %g %s (%.0f MB)...\n", w.Name, units, w.Unit, targetMB)
+	lastPhase := ""
+	res, err := t.TuneOnline(context.Background(), lo, hi, targetMB, oo, core.OnlineHooks{
+		Progress: func(phase string, done, total int) {
+			if phase != lastPhase {
+				if lastPhase != "" {
+					fmt.Fprintln(os.Stderr)
+				}
+				lastPhase = phase
+			}
+			fmt.Fprintf(os.Stderr, "\r%-7s %d/%d", phase, done, total)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("\nscreening kept %d of %d parameters:\n", len(res.Screened), t.Space.Len())
+	for i, name := range res.Screened {
+		fmt.Printf("%2d. %-45s %5.1f%%\n", i+1, name, res.Importance[i]*100)
+	}
+	fmt.Printf("\n%4s %6s %5s %8s %13s %14s %9s\n",
+		"iter", "runs", "warm", "valerr", "predicted(s)", "best-meas(s)", "rejected")
+	for i, it := range res.Iterations {
+		warm := "no"
+		if it.WarmStarted {
+			warm = "yes"
+		}
+		fmt.Printf("%4d %6d %5s %7.1f%% %13.1f %14.1f %9d\n",
+			i+1, it.Runs, warm, it.ValErr*100, it.PredictedSec, it.BestMeasuredSec, it.GuardRejected)
+	}
+
+	// Evaluate on a fresh simulator seed against the baselines, exactly
+	// as the offline path does.
+	evalSim := sparksim.New(cluster.Standard(), 99)
+	space := conf.StandardSpace()
+	tDAC := evalSim.Run(&w.Program, targetMB, res.Best).TotalSec
+	tDef := evalSim.Run(&w.Program, targetMB, space.Default()).TotalSec
+	tExp := evalSim.Run(&w.Program, targetMB, expert.Config(space, cluster.Standard())).TotalSec
+
+	fmt.Printf("\ntuned configuration (spark-dac.conf):\n%s\n", res.Best)
+	fmt.Printf("\npredicted: %.1fs   measured: %.1fs\n", res.PredictedSec, tDAC)
+	fmt.Printf("default:   %.1fs   (speedup %.1fx)\n", tDef, tDef/tDAC)
+	fmt.Printf("expert:    %.1fs   (speedup %.1fx)\n", tExp, tExp/tDAC)
+	fmt.Printf("\noverhead: %d measured runs (%.1f simulated cluster hours), %d candidates rejected by the memory guard\n",
+		res.TotalRuns, res.Overhead.CollectClusterHours, res.GuardRejections)
 	return of.emit(reg)
 }
 

@@ -28,12 +28,33 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7411", "listen address (use :0 for a random free port)")
 	data := fs.String("data", "dacd-data", "data directory (journals, jobs, collected CSVs, model registry)")
-	workers := fs.Int("workers", 2, "concurrent tuning jobs")
-	coalesceWindow := fs.Duration("coalesce-window", 0, "predict micro-batch gather window (0 = default 200µs, negative = flush immediately)")
-	keepVersions := fs.Int("keep-versions", 0, "old model versions kept hot beside the latest (0 = default 4, negative = none)")
+	workers := fs.Int("workers", 2, "concurrent tuning jobs (min 1)")
+	coalesceWindow := fs.Duration("coalesce-window", 200*time.Microsecond, "predict micro-batch gather window (must be positive)")
+	keepVersions := fs.Int("keep-versions", 4, "old model versions kept hot beside the latest (0 = keep none)")
 	noHotPath := fs.Bool("no-hot-path", false, "disable the serving cache: decode the model from disk on every predict")
-	memoCap := fs.Int("memo-cap", 0, "max memoized prediction vectors per hot model version (0 = default 262144, negative = unbounded)")
+	memoCap := fs.Int("memo-cap", 262144, "max memoized prediction vectors per hot model version (must be positive)")
 	fs.Parse(args)
+
+	// Flag values are validated loudly at startup: a zero/negative window
+	// would silently disable micro-batching, a negative memo cap would
+	// memoize without bound, and zero workers would accept jobs that never
+	// run. Every flag states its real default; there are no sentinels.
+	if *workers < 1 {
+		return fmt.Errorf("serve: -workers must be at least 1, got %d", *workers)
+	}
+	if *coalesceWindow <= 0 {
+		return fmt.Errorf("serve: -coalesce-window must be positive, got %v", *coalesceWindow)
+	}
+	if *memoCap < 1 {
+		return fmt.Errorf("serve: -memo-cap must be positive, got %d", *memoCap)
+	}
+	if *keepVersions < 0 {
+		return fmt.Errorf("serve: -keep-versions must not be negative, got %d", *keepVersions)
+	}
+	keep := *keepVersions
+	if keep == 0 {
+		keep = -1 // the library's "keep none"; 0 would select its default
+	}
 
 	reg := obs.NewRegistry()
 	s, err := serve.NewServerOpts(*data, serve.ServerOptions{
@@ -42,7 +63,7 @@ func cmdServe(args []string) error {
 		Serving: serve.ServingOptions{
 			Disabled:        *noHotPath,
 			CoalesceWindow:  *coalesceWindow,
-			KeepOldVersions: *keepVersions,
+			KeepOldVersions: keep,
 			MemoCap:         *memoCap,
 		},
 	})

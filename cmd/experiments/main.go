@@ -7,6 +7,7 @@
 //	experiments -quick -all     # everything, reduced scale
 //	experiments -fig 12a        # one figure (2, 3, 7, 8, 9, 10, 11, 12a, 12b, 13, 14)
 //	experiments -fig ext        # the §2.1 KV-store generality extension
+//	experiments -fig online     # online importance-screened tuning vs full DAC
 //	experiments -table 2        # one table (1, 2, 3)
 package main
 
@@ -163,6 +164,12 @@ func main() {
 	if *all || strings.EqualFold(*fig, "subspace") {
 		run("Analysis: tuning-space size (all vs top-k vs bottom-k)", func() {
 			fmt.Print(experiments.RenderSubspace("TS", experiments.Subspace(sc, "TS", 8)))
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "online") {
+		run("Analysis: online importance-screened tuning vs full DAC", func() {
+			fmt.Print(experiments.RenderOnline(experiments.OnlineVsDAC(sc, []string{"TS", "WC", "PR"})))
 		})
 	}
 

@@ -61,3 +61,18 @@ func (ss *SubSpace) ExpandVector(vec []float64) (Config, error) {
 	}
 	return ss.Expand(cfg)
 }
+
+// ProjectVector extracts the tunable coordinates of a full-space encoded
+// vector — the inverse of ExpandVector over the tunable positions (the
+// frozen coordinates are dropped). Searchers over the subspace use it to
+// seed their populations from full-space observations.
+func (ss *SubSpace) ProjectVector(full []float64) ([]float64, error) {
+	if len(full) != ss.full.Len() {
+		return nil, fmt.Errorf("conf: vector has %d values, space has %d", len(full), ss.full.Len())
+	}
+	out := make([]float64, len(ss.idx))
+	for ti, fi := range ss.idx {
+		out[ti] = full[fi]
+	}
+	return out, nil
+}

@@ -259,6 +259,50 @@ func TestExtensionBeatsKVDefaults(t *testing.T) {
 	}
 }
 
+// TestOnlineMatchesFullDACAtHalfCost is the tune_online acceptance
+// criterion: on at least two workloads the online importance-screened
+// loop must land within 5% of full DAC's quality while executing no
+// more than half the cluster runs.
+func TestOnlineMatchesFullDACAtHalfCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two tuning pipelines per workload in -short mode")
+	}
+	sc := tinyScale()
+	// The screening stage ranks importance from its initial sample; below
+	// a few hundred rows that ranking is noise and the loop freezes the
+	// wrong knobs. 400 is QuickScale's collecting budget and still runs
+	// both pipelines for three workloads in well under a second.
+	sc.NTrain = 400
+	outcomes := OnlineVsDAC(sc, []string{"TS", "WC", "PR"})
+	if len(outcomes) != 3 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	within := 0
+	for _, o := range outcomes {
+		if o.OnlineRuns*2 > o.FullRuns {
+			t.Errorf("%s: online executed %d runs, over half of full DAC's %d",
+				o.Workload.Abbr, o.OnlineRuns, o.FullRuns)
+		}
+		if o.OnlineSec <= 1.05*o.FullSec {
+			within++
+		}
+		if o.OnlineSec >= o.DefaultSec {
+			t.Errorf("%s: online (%.1fs) did not beat the default (%.1fs)",
+				o.Workload.Abbr, o.OnlineSec, o.DefaultSec)
+		}
+		if len(o.Screened) == 0 || len(o.Iterations) == 0 {
+			t.Errorf("%s: empty online trajectory: %+v", o.Workload.Abbr, o)
+		}
+	}
+	if within < 2 {
+		t.Errorf("online within 5%% of full DAC on %d of %d workloads, want >= 2:\n%s",
+			within, len(outcomes), RenderOnline(outcomes))
+	}
+	if s := RenderOnline(outcomes); !strings.Contains(s, "quality") {
+		t.Error("render malformed")
+	}
+}
+
 func TestTuneAllAndDownstreamFigures(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tuning pipeline in -short mode")

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,12 @@ const (
 	// JobTune runs the full pipeline — durable collect, model, search —
 	// and registers the model.
 	JobTune JobType = "tune"
+	// JobTuneOnline runs the online importance-screened loop: a small
+	// screening sample, then iterative measure→refit→search rounds over
+	// the significant subspace with an OOM safety guard. Durable like
+	// collect: every measured run journals, and a restarted daemon
+	// replays the trajectory to the exact same final configuration.
+	JobTuneOnline JobType = "tune_online"
 )
 
 // Job states.
@@ -96,6 +103,13 @@ type JobSpec struct {
 	// Parallelism bounds concurrent executions while collecting
 	// (0 = GOMAXPROCS). Results are identical for any value.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Online-loop budgets (tune_online only; 0 = core defaults, shrunk by
+	// Quick): screening-sample size, surviving parameter count, iteration
+	// count, and measured runs per iteration.
+	ScreenSamples int `json:"screen_samples,omitempty"`
+	TopK          int `json:"top_k,omitempty"`
+	Iterations    int `json:"iterations,omitempty"`
+	IterBatch     int `json:"iter_batch,omitempty"`
 }
 
 // Progress is a job's live phase/counter state.
@@ -116,12 +130,17 @@ type Job struct {
 	// job instead of enqueueing a duplicate.
 	SpecHash string `json:"spec_hash,omitempty"`
 	// Deduped counts submissions that were folded into this job.
-	Deduped     int             `json:"deduped,omitempty"`
-	Error       string          `json:"error,omitempty"`
-	Result      json.RawMessage `json:"result,omitempty"`
-	Progress    Progress        `json:"progress"`
-	CreatedUnix int64           `json:"created_unix"`
-	UpdatedUnix int64           `json:"updated_unix"`
+	Deduped int `json:"deduped,omitempty"`
+	// CancelRequested marks a running job whose cancellation was asked
+	// for but not yet observed by the pipeline. Such a job no longer
+	// absorbs resubmissions — an identical spec submitted after the
+	// cancel runs fresh.
+	CancelRequested bool            `json:"cancel_requested,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	Result          json.RawMessage `json:"result,omitempty"`
+	Progress        Progress        `json:"progress"`
+	CreatedUnix     int64           `json:"created_unix"`
+	UpdatedUnix     int64           `json:"updated_unix"`
 }
 
 // specHash fingerprints a spec by hashing its canonical JSON form.
@@ -228,10 +247,21 @@ func (m *Manager) loadJobs() ([]int64, error) {
 			return nil, fmt.Errorf("serve: job file %s: %w", e.Name(), err)
 		}
 		if j.State == StateQueued || j.State == StateRunning {
-			// The previous daemon never finished this job; adopt it.
-			j.State = StateQueued
-			resume = append(resume, j.ID)
-			m.obs.Counter("serve.jobs.adopted").Inc()
+			if j.CancelRequested {
+				// The previous daemon died between the cancel request and
+				// the pipeline noticing; honor the cancel instead of
+				// resurrecting the job.
+				j.State = StateCancelled
+				m.obs.Counter("serve.jobs.cancelled").Inc()
+				if err := m.persistLocked(&j); err != nil {
+					return nil, err
+				}
+			} else {
+				// The previous daemon never finished this job; adopt it.
+				j.State = StateQueued
+				resume = append(resume, j.ID)
+				m.obs.Counter("serve.jobs.adopted").Inc()
+			}
 		}
 		if j.SpecHash == "" {
 			// Jobs persisted before dedup existed; fingerprint them so
@@ -239,9 +269,16 @@ func (m *Manager) loadJobs() ([]int64, error) {
 			j.SpecHash = specHash(j.Spec)
 		}
 		m.jobs[j.ID] = &j
-		// Later IDs win so byHash always points at the newest attempt.
-		if prev, ok := m.byHash[j.SpecHash]; !ok || j.ID > prev {
-			m.byHash[j.SpecHash] = j.ID
+		// Later IDs win so byHash always points at the newest attempt —
+		// but only states that absorb resubmissions occupy a slot; failed
+		// and cancelled jobs retry fresh.
+		if !j.CancelRequested {
+			switch j.State {
+			case StateQueued, StateRunning, StateDone:
+				if prev, ok := m.byHash[j.SpecHash]; !ok || j.ID > prev {
+					m.byHash[j.SpecHash] = j.ID
+				}
+			}
 		}
 		if j.ID >= m.nextID {
 			m.nextID = j.ID + 1
@@ -275,7 +312,7 @@ func (m *Manager) Submit(spec JobSpec) (int64, bool, error) {
 	hash := specHash(spec)
 	m.mu.Lock()
 	if prev, ok := m.byHash[hash]; ok {
-		if j, live := m.jobs[prev]; live {
+		if j, live := m.jobs[prev]; live && !j.CancelRequested {
 			switch j.State {
 			case StateQueued, StateRunning, StateDone:
 				j.Deduped++
@@ -300,7 +337,7 @@ func (m *Manager) Submit(spec JobSpec) (int64, bool, error) {
 	select {
 	case m.queue <- id:
 	default:
-		m.setState(id, StateFailed, "job queue full", nil)
+		m.transition(id, StateFailed, "job queue full", nil, StateQueued)
 		return 0, false, fmt.Errorf("serve: job queue full")
 	}
 	m.obs.Counter("serve.jobs.submitted").Inc()
@@ -309,13 +346,47 @@ func (m *Manager) Submit(spec JobSpec) (int64, bool, error) {
 
 func (m *Manager) validateSpec(spec JobSpec) error {
 	switch spec.Type {
-	case JobCollect, JobTrain, JobSearch, JobTune:
+	case JobCollect, JobTrain, JobSearch, JobTune, JobTuneOnline:
 	default:
-		return fmt.Errorf("serve: unknown job type %q (collect|train|search|tune)", spec.Type)
+		return fmt.Errorf("serve: unknown job type %q (collect|train|search|tune|tune_online)", spec.Type)
+	}
+	// Negative budgets and counts are always spec bugs: zero means
+	// "default" everywhere, so reject negatives loudly instead of letting
+	// them reach a pipeline stage that misreads them.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"size", spec.Size},
+		{"ntrain", float64(spec.NTrain)},
+		{"seed", float64(spec.Seed)},
+		{"model_version", float64(spec.ModelVersion)},
+		{"from_job", float64(spec.FromJob)},
+		{"warm_version", float64(spec.WarmVersion)},
+		{"extra_trees", float64(spec.ExtraTrees)},
+		{"hm_trees", float64(spec.HMTrees)},
+		{"ga_pop", float64(spec.GAPop)},
+		{"ga_generations", float64(spec.GAGenerations)},
+		{"parallelism", float64(spec.Parallelism)},
+		{"screen_samples", float64(spec.ScreenSamples)},
+		{"top_k", float64(spec.TopK)},
+		{"iterations", float64(spec.Iterations)},
+		{"iter_batch", float64(spec.IterBatch)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("serve: %s must not be negative (0 selects the default)", f.name)
+		}
 	}
 	if spec.Type != JobTrain || spec.Workload != "" {
 		if _, err := workloads.ByAbbr(strings.ToUpper(spec.Workload)); err != nil {
 			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if spec.Type == JobTuneOnline {
+		switch spec.backend() {
+		case "hm", "rf":
+		default:
+			return fmt.Errorf("serve: tune_online needs a backend that reports feature importance (hm|rf), not %q", spec.Backend)
 		}
 	}
 	if spec.Type == JobTrain && spec.FromJob == 0 {
@@ -380,17 +451,26 @@ func (m *Manager) Cancel(id int64) error {
 	switch j.State {
 	case StateQueued:
 		j.State = StateCancelled
+		j.CancelRequested = true
 		j.UpdatedUnix = time.Now().Unix()
+		m.dropHashLocked(j)
 		err := m.persistLocked(j)
 		m.mu.Unlock()
 		return err
 	case StateRunning:
+		// Mark the request and release the dedup slot immediately: from
+		// this moment an identical spec submitted again must run fresh,
+		// even though this job is still winding down.
+		j.CancelRequested = true
+		j.UpdatedUnix = time.Now().Unix()
+		m.dropHashLocked(j)
+		err := m.persistLocked(j)
 		cancel := m.cancels[id]
 		m.mu.Unlock()
 		if cancel != nil {
 			cancel()
 		}
-		return nil
+		return err
 	default:
 		m.mu.Unlock()
 		return fmt.Errorf("serve: job %d already %s", id, j.State)
@@ -424,13 +504,27 @@ func (m *Manager) persistLocked(j *Job) error {
 	})
 }
 
-// setState transitions a job and persists it.
-func (m *Manager) setState(id int64, state, errMsg string, result any) {
+// transition moves a job to state iff its current state is one of from —
+// a compare-and-set under the manager lock, persisted exactly once.
+// Returning false means another path won the race (e.g. Cancel marked the
+// job cancelled while its completion was being recorded) and nothing was
+// written; terminal states are never overwritten by a late writer.
+func (m *Manager) transition(id int64, state, errMsg string, result any, from ...string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
-		return
+		return false
+	}
+	legal := false
+	for _, f := range from {
+		if j.State == f {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		return false
 	}
 	j.State = state
 	j.Error = errMsg
@@ -440,7 +534,20 @@ func (m *Manager) setState(id int64, state, errMsg string, result any) {
 		}
 	}
 	j.UpdatedUnix = time.Now().Unix()
+	if state == StateFailed || state == StateCancelled {
+		m.dropHashLocked(j)
+	}
 	m.persistLocked(j)
+	return true
+}
+
+// dropHashLocked removes the job's dedup entry if it still points at this
+// job, so resubmissions of the same spec run fresh (the failed/cancelled
+// retry contract). Caller holds m.mu.
+func (m *Manager) dropHashLocked(j *Job) {
+	if id, ok := m.byHash[j.SpecHash]; ok && id == j.ID {
+		delete(m.byHash, j.SpecHash)
+	}
 }
 
 func (m *Manager) setProgress(id int64, p Progress) {
@@ -491,20 +598,27 @@ func (m *Manager) runJob(id int64) {
 	result, err := m.execute(ctx, id, spec)
 	sp.End()
 
+	// Every terminal write is a guarded transition out of StateRunning:
+	// whichever of completion and cancellation records its state first
+	// wins, and the loser's write is dropped instead of overwriting a
+	// terminal state.
 	switch {
 	case err == nil:
-		m.obs.Counter("serve.jobs.done").Inc()
-		m.setState(id, StateDone, "", result)
+		if m.transition(id, StateDone, "", result, StateRunning) {
+			m.obs.Counter("serve.jobs.done").Inc()
+		}
 	case ctx.Err() != nil && m.rootCtx.Err() != nil:
 		// Daemon shutdown, not a user cancel: leave the job running on
 		// disk so the next daemon adopts and resumes it.
 		m.obs.Counter("serve.jobs.interrupted").Inc()
 	case ctx.Err() != nil:
-		m.obs.Counter("serve.jobs.cancelled").Inc()
-		m.setState(id, StateCancelled, err.Error(), nil)
+		if m.transition(id, StateCancelled, err.Error(), nil, StateRunning) {
+			m.obs.Counter("serve.jobs.cancelled").Inc()
+		}
 	default:
-		m.obs.Counter("serve.jobs.failed").Inc()
-		m.setState(id, StateFailed, err.Error(), nil)
+		if m.transition(id, StateFailed, err.Error(), nil, StateRunning) {
+			m.obs.Counter("serve.jobs.failed").Inc()
+		}
 	}
 }
 
@@ -624,6 +738,8 @@ func (m *Manager) execute(ctx context.Context, id int64, spec JobSpec) (any, err
 		return m.runSearch(ctx, id, spec)
 	case JobTune:
 		return m.runTune(ctx, id, spec)
+	case JobTuneOnline:
+		return m.runTuneOnline(ctx, id, spec)
 	}
 	return nil, fmt.Errorf("serve: unknown job type %q", spec.Type)
 }
@@ -870,6 +986,141 @@ func (m *Manager) runTune(ctx context.Context, id int64, spec JobSpec) (any, err
 				Workload:    w.Abbr,
 				Seed:        spec.seed(),
 				NTrain:      set.Len(),
+				Job:         id,
+				CreatedUnix: time.Now().Unix(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			m.obs.Counter("serve.models.saved").Inc()
+			out["model"] = name
+			out["model_version"] = version
+			out["backend"] = spec.backend()
+		}
+	}
+	return out, nil
+}
+
+// onlineOptions resolves the spec's online-loop budgets: core defaults,
+// shrunk by Quick, overridden by explicit values — the same precedence
+// the offline budgets use.
+func (spec JobSpec) onlineOptions() core.OnlineOptions {
+	var oo core.OnlineOptions
+	if spec.Quick {
+		oo = core.OnlineOptions{ScreenSamples: 60, TopK: 8, Iterations: 2, IterBatch: 8, ExtraTrees: 60}
+	}
+	if spec.ScreenSamples > 0 {
+		oo.ScreenSamples = spec.ScreenSamples
+	}
+	if spec.TopK > 0 {
+		oo.TopK = spec.TopK
+	}
+	if spec.Iterations > 0 {
+		oo.Iterations = spec.Iterations
+	}
+	if spec.IterBatch > 0 {
+		oo.IterBatch = spec.IterBatch
+	}
+	if spec.ExtraTrees > 0 {
+		oo.ExtraTrees = spec.ExtraTrees
+	}
+	return oo
+}
+
+// runTuneOnline executes the online importance-screened loop with the
+// sparksim-backed OOM guard, journaling every measured run: the
+// trajectory is a pure function of the spec, so a restarted daemon
+// replays journaled rows and lands on the identical final configuration.
+func (m *Manager) runTuneOnline(ctx context.Context, id int64, spec JobSpec) (any, error) {
+	w, err := workloads.ByAbbr(strings.ToUpper(spec.Workload))
+	if err != nil {
+		return nil, err
+	}
+	t := m.tunerFor(w, spec)
+	oo := spec.onlineOptions()
+	oo.Guard = core.SimOOMGuard(cluster.Standard(), &w.Program, 0)
+	targetMB := spec.targetMB(w)
+	lo, hi := trainingRange(w)
+	sizes := t.TrainingSizesMB(lo, hi)
+
+	// The journal header binds the file to the whole online trajectory:
+	// any budget change makes a different trajectory, so encode the
+	// online knobs (and target) into the meta string alongside the
+	// collect-style identity.
+	onlineID := fmt.Sprintf("online:%s:%d:%d:%d:%d:%s", w.Abbr,
+		oo.ScreenSamples, oo.TopK, oo.Iterations, oo.IterBatch,
+		strconv.FormatFloat(targetMB, 'g', -1, 64))
+	jp := filepath.Join(m.dataDir, "journals", fmt.Sprintf("job-%d.journal", id))
+	jl, err := OpenJournal(jp, MetaHash(onlineID, t.Opt.Seed, oo.ScreenSamples+oo.Iterations*oo.IterBatch+1, sizes))
+	if err != nil {
+		return nil, err
+	}
+	defer jl.Close()
+	if n := jl.Rows(); n > 0 {
+		m.obs.Counter("serve.online.resumed.rows").Add(int64(n))
+	}
+	var appendErr error
+	var appendMu sync.Mutex
+	res, err := t.TuneOnline(ctx, lo, hi, targetMB, oo, core.OnlineHooks{
+		Known: jl.Known,
+		OnBatch: func(rows []core.RowTime) {
+			if err := jl.Append(rows); err != nil {
+				appendMu.Lock()
+				if appendErr == nil {
+					appendErr = err
+				}
+				appendMu.Unlock()
+			}
+			m.obs.Counter("serve.online.checkpoints").Inc()
+			if m.testBatchHook != nil {
+				m.testBatchHook(jl.Rows())
+			}
+		},
+		Progress: func(phase string, done, total int) {
+			m.setProgress(id, Progress{Phase: phase, Done: done, Total: total})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if appendErr != nil {
+		return nil, fmt.Errorf("serve: journal append: %w", appendErr)
+	}
+
+	iters := make([]map[string]any, len(res.Iterations))
+	for i, it := range res.Iterations {
+		iters[i] = map[string]any{
+			"runs":              it.Runs,
+			"warm_started":      it.WarmStarted,
+			"predicted_sec":     it.PredictedSec,
+			"best_measured_sec": it.BestMeasuredSec,
+			"guard_rejected":    it.GuardRejected,
+		}
+	}
+	out := map[string]any{
+		"workload":         w.Abbr,
+		"target_mb":        targetMB,
+		"best":             configMap(res.Best),
+		"vector":           res.Best.Vector(),
+		"measured_sec":     res.MeasuredSec,
+		"predicted_sec":    res.PredictedSec,
+		"screened":         res.Screened,
+		"importance":       res.Importance,
+		"total_runs":       res.TotalRuns,
+		"guard_rejections": res.GuardRejections,
+		"iterations":       iters,
+		"cluster_hours":    res.Overhead.CollectClusterHours,
+	}
+	// Register the final refit model like tune does, so search jobs and
+	// warm starts can pick up where the online loop left off.
+	if b, lookupErr := m.models.Backends().Lookup(spec.backend()); lookupErr == nil {
+		if _, ok := b.(model.Saver); ok {
+			name := spec.modelName(w)
+			version, err := m.models.Save(name, res.Model, ModelMeta{
+				Backend:     spec.backend(),
+				Workload:    w.Abbr,
+				Seed:        spec.seed(),
+				NTrain:      res.Set.Len(),
 				Job:         id,
 				CreatedUnix: time.Now().Unix(),
 			})

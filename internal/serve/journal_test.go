@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -57,10 +58,10 @@ func TestJournalRejectsForeignSweep(t *testing.T) {
 	j.Close()
 	// Same file, different sweep parameters: must refuse, not splice.
 	for _, meta := range []string{
-		MetaHash("TS", 2, 100, []float64{10}),  // different seed
-		MetaHash("TS", 1, 101, []float64{10}),  // different ntrain
-		MetaHash("TS", 1, 100, []float64{11}),  // different sizes
-		MetaHash("WC", 1, 100, []float64{10}),  // different workload
+		MetaHash("TS", 2, 100, []float64{10}), // different seed
+		MetaHash("TS", 1, 101, []float64{10}), // different ntrain
+		MetaHash("TS", 1, 100, []float64{11}), // different sizes
+		MetaHash("WC", 1, 100, []float64{10}), // different workload
 	} {
 		if _, err := OpenJournal(path, meta); err == nil {
 			t.Fatalf("journal for %s opened against a foreign sweep", meta)
@@ -152,4 +153,94 @@ func TestJournalEmptyFileGetsHeader(t *testing.T) {
 		t.Fatalf("rows = %d, want 1", re.Rows())
 	}
 	re.Close()
+}
+
+// TestJournalTornTailBoundaryCuts pins the two nastiest torn-tail
+// shapes: a tail cut exactly on the CRC boundary (the record's three
+// data fields and the trailing comma made it to disk, the checksum did
+// not) and a final record that is record-prefix-only ("r," or a bare
+// "r"). Both must truncate cleanly, and resuming must rebuild a journal
+// byte-identical to one that was never torn.
+func TestJournalTornTailBoundaryCuts(t *testing.T) {
+	meta := MetaHash("TS", 1, 100, []float64{10})
+	good := []core.RowTime{{Index: 0, TimeSec: 1.5}, {Index: 1, TimeSec: 2.25}}
+	missing := core.RowTime{Index: 2, TimeSec: 3.125}
+
+	// Reference: the journal a never-interrupted writer produces.
+	refPath := filepath.Join(t.TempDir(), "ref.journal")
+	refJ, err := OpenJournal(refPath, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refJ.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := refJ.Append([]core.RowTime{missing}); err != nil {
+		t.Fatal(err)
+	}
+	refJ.Close()
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tail := range []string{
+		"r,2,3.125,", // cut exactly on the CRC boundary
+		"r,",         // final record is prefix-only
+		"r",          // not even the field separator made it
+		"r,2,",       // index landed, time did not
+	} {
+		path := filepath.Join(t.TempDir(), "j.journal")
+		j, err := OpenJournal(path, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(good); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		pristine, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString(tail)
+		f.Close()
+
+		re, err := OpenJournal(path, meta)
+		if err != nil {
+			t.Fatalf("tail %q: reopen failed: %v", tail, err)
+		}
+		if re.Rows() != len(good) {
+			t.Fatalf("tail %q: %d rows survived, want %d", tail, re.Rows(), len(good))
+		}
+		if _, ok := re.Known(missing.Index); ok {
+			t.Fatalf("tail %q: the torn record was accepted", tail)
+		}
+		// The truncation must remove the torn bytes exactly: the file is
+		// the pristine pre-crash journal again.
+		afterOpen, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(afterOpen, pristine) {
+			t.Fatalf("tail %q: truncation left %q, want the pristine journal %q", tail, afterOpen, pristine)
+		}
+		// Re-appending the lost row must reproduce the reference journal
+		// byte for byte — resume is indistinguishable from never crashing.
+		if err := re.Append([]core.RowTime{missing}); err != nil {
+			t.Fatal(err)
+		}
+		re.Close()
+		final, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(final, ref) {
+			t.Fatalf("tail %q: resumed journal differs from the uninterrupted one:\n%q\n%q", tail, final, ref)
+		}
+	}
 }

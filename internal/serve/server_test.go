@@ -389,10 +389,10 @@ func TestHTTPValidation(t *testing.T) {
 	}
 
 	for _, spec := range []JobSpec{
-		{Type: "resolve", Workload: "TS"},              // unknown type
-		{Type: JobTune, Workload: "XX"},                // unknown workload
-		{Type: JobTrain, Workload: "TS"},               // train without from_job
-		{Type: JobSearch},                              // search without model/workload
+		{Type: "resolve", Workload: "TS"},                  // unknown type
+		{Type: JobTune, Workload: "XX"},                    // unknown workload
+		{Type: JobTrain, Workload: "TS"},                   // train without from_job
+		{Type: JobSearch},                                  // search without model/workload
 		{Type: JobTune, Workload: "TS", Model: "Bad name"}, // invalid registry name
 	} {
 		if code := postJSON(t, ts.URL+"/jobs", spec, nil); code != http.StatusBadRequest {

@@ -1,0 +1,154 @@
+package sparksim
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+)
+
+// MemoryVerdict is the analytic outcome of replaying the simulator's
+// memory accounting over one (configuration, datasize) pair without
+// running the event loop: the worst per-task execution-memory pressure
+// any stage reaches, and whether the accounting predicts a guaranteed
+// OOM abort. The online tuner's safety guard uses it to veto candidate
+// configurations before spending a cluster run on them.
+type MemoryVerdict struct {
+	// WorstPressure is the maximum over stages of working set /
+	// available execution memory per task. Values above 1 spill (when
+	// spilling is on); math.Inf(1) means a stage has work but no
+	// execution memory at all.
+	WorstPressure float64
+	// WorstStage names the stage behind WorstPressure.
+	WorstStage string
+	// Abort reports that some stage's memory need cannot fit even the
+	// whole executor pool within the task retry budget — the exact
+	// condition under which taskCosts' oomLoop aborts the job.
+	Abort bool
+}
+
+// CheckMemory replays the execution-memory section of taskCosts for every
+// stage of p at inputMB under cfg, using the same env derivation
+// (executor sizing, unified memory manager, cache bookkeeping in program
+// order) the simulator uses, and returns the aggregate verdict. It never
+// runs tasks, so it costs microseconds against a simulated run's
+// milliseconds — cheap enough to call per GA candidate.
+//
+// The accounting mirrors taskCosts with all simulator mechanisms enabled
+// (the zero Options): per-stage task counts from runStage, working set =
+// ingested volume × MemExpansion plus shuffle-write buffers, in-flight
+// fetch buffers, and the Kryo buffer; the spillable overflow aborts via
+// oomLoop when spilling is off, and the unspillable slice (pinned
+// aggregation state + fetch buffers) aborts when it exceeds what the
+// whole executor can lend a task. One deliberate divergence: a stage with
+// work but zero execution memory is reported as an abort here, while the
+// simulator charges it nothing — a guard must reject a configuration that
+// cannot hold any task state.
+func CheckMemory(cl cluster.Cluster, cfg conf.Config, p *Program, inputMB float64) MemoryVerdict {
+	e := newEnv(cl, cfg, Options{})
+	maxFail := cfg.GetInt(conf.TaskMaxFailures)
+	par := cfg.GetInt(conf.DefaultParallelism)
+	reduceParts := par
+	v := MemoryVerdict{}
+
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		stageIn := st.InputFrac * inputMB
+
+		// Task count, exactly as runStage derives it.
+		var tasks int
+		if st.ReadsShuffle {
+			tasks = par
+		} else {
+			tasks = int(math.Ceil(stageIn / 128))
+		}
+		if tasks < st.MinTasks {
+			tasks = st.MinTasks
+		}
+		if tasks < 1 {
+			tasks = 1
+		}
+
+		// Local execution skips the cluster entirely — no executor
+		// memory pressure — but the stage's cache output still lands.
+		totalIn := stageIn + st.ShuffleInFrac*inputMB
+		local := cfg.GetBool(conf.LocalExecutionEnabled) && totalIn < 64 && st.ShuffleFrac == 0
+		if !local {
+			perTask := stageIn / float64(tasks)
+			shuffleOut := st.ShuffleFrac * inputMB / float64(tasks)
+			shuffleIn := st.ShuffleInFrac * inputMB / float64(tasks)
+			totalPerTask := perTask + shuffleIn
+
+			// Shuffle-write stream buffers held open per task.
+			shuffleBufMB := 0.0
+			if shuffleOut > 0 {
+				bufKB := float64(cfg.GetInt(conf.ShuffleFileBuffer))
+				opens := 1.0
+				if cfg.GetInt(conf.ShuffleManager) == conf.ShuffleHash {
+					opens = float64(reduceParts)
+					if cfg.GetBool(conf.ShuffleConsolidateFiles) {
+						amort := float64(tasks) / float64(e.slotsOr1())
+						if amort > 1 {
+							opens /= amort
+						}
+					}
+				} else if !st.MapSideCombine && reduceParts < cfg.GetInt(conf.ShuffleBypassMergeThresh) {
+					opens = float64(reduceParts)
+				}
+				shuffleBufMB = opens * bufKB / 1024
+			}
+
+			work := totalPerTask*st.MemExpansion + shuffleBufMB
+			if st.ReadsShuffle {
+				work += float64(cfg.GetInt(conf.ReducerMaxSizeInFlight))
+			}
+			if e.kryo {
+				work += float64(cfg.GetInt(conf.KryoserializerBufferMax))
+			}
+			execMem := e.execMemPerTaskMB()
+
+			pressure := 0.0
+			switch {
+			case execMem > 0:
+				pressure = work / execMem
+			case work > 0:
+				pressure = math.Inf(1)
+				v.Abort = true
+			}
+			if pressure > v.WorstPressure {
+				v.WorstPressure = pressure
+				v.WorstStage = st.Name
+			}
+
+			if work > execMem && execMem > 0 && !cfg.GetBool(conf.ShuffleSpill) {
+				var tm taskModel
+				tm.oomLoop(work, execMem, execMem*float64(e.coresPerExecutor), maxFail)
+				if tm.abort {
+					v.Abort = true
+				}
+			}
+			if execMem > 0 {
+				pinnedFrac := 0.03
+				if st.MapSideCombine {
+					pinnedFrac = 0.15
+				}
+				unspill := pinnedFrac * totalPerTask * st.MemExpansion
+				if st.ReadsShuffle {
+					unspill += float64(cfg.GetInt(conf.ReducerMaxSizeInFlight))
+				}
+				if unspill > execMem*1.2 {
+					var tm taskModel
+					tm.oomLoop(unspill, execMem*1.2, execMem*1.2*float64(e.coresPerExecutor), maxFail)
+					if tm.abort {
+						v.Abort = true
+					}
+				}
+			}
+		}
+
+		if st.CacheOutputFrac > 0 {
+			e.cacheAdd(st.CacheOutputFrac * inputMB)
+		}
+	}
+	return v
+}

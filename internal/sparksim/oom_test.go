@@ -1,0 +1,122 @@
+package sparksim_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/workloads"
+)
+
+// oomConfig returns a configuration the memory accounting must reject:
+// minimal executor heap and memory fraction, maximal in-flight fetch
+// buffers, and a single task attempt, so a reduce task's unspillable
+// state can never fit what the executor can lend it.
+func oomConfig(space *conf.Space) conf.Config {
+	cfg := space.Default()
+	cfg = cfg.Set(conf.ExecutorMemory, 1024)
+	cfg = cfg.Set(conf.ExecutorCores, 12)
+	cfg = cfg.Set(conf.MemoryFraction, 0.5)
+	cfg = cfg.Set(conf.DefaultParallelism, 8)
+	cfg = cfg.Set(conf.ReducerMaxSizeInFlight, 128)
+	cfg = cfg.Set(conf.TaskMaxFailures, 1)
+	return cfg
+}
+
+func TestCheckMemoryDefaultIsSafe(t *testing.T) {
+	space := conf.StandardSpace()
+	for _, w := range workloads.All() {
+		mb := w.InputMB(w.Sizes[0])
+		v := sparksim.CheckMemory(cluster.Standard(), space.Default(), &w.Program, mb)
+		if v.Abort {
+			t.Errorf("%s: default configuration predicted to OOM at %.0f MB (worst %q %.2f)",
+				w.Abbr, mb, v.WorstStage, v.WorstPressure)
+		}
+		if v.WorstPressure <= 0 || math.IsInf(v.WorstPressure, 1) {
+			t.Errorf("%s: implausible worst pressure %v", w.Abbr, v.WorstPressure)
+		}
+		if v.WorstStage == "" {
+			t.Errorf("%s: no worst stage named", w.Abbr)
+		}
+	}
+}
+
+func TestCheckMemoryRejectsStarvedConfig(t *testing.T) {
+	space := conf.StandardSpace()
+	cfg := oomConfig(space)
+	w, err := workloads.ByAbbr("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := w.InputMB(w.Sizes[len(w.Sizes)-1])
+	v := sparksim.CheckMemory(cluster.Standard(), cfg, &w.Program, mb)
+	if !v.Abort {
+		t.Fatalf("starved configuration not predicted to OOM (worst %q %.2f)", v.WorstStage, v.WorstPressure)
+	}
+	if v.WorstPressure <= 1 {
+		t.Errorf("aborting configuration reports pressure %.2f <= 1", v.WorstPressure)
+	}
+}
+
+// TestCheckMemoryMatchesSimulatorAborts is the guard's calibration
+// contract: whenever CheckMemory predicts an abort, actually running the
+// simulator must produce an aborted result — otherwise the online tuner
+// would veto configurations that execute fine. (The converse is not
+// required: the simulator also aborts for reasons outside the memory
+// accounting, e.g. driver-side collect overflow.)
+func TestCheckMemoryMatchesSimulatorAborts(t *testing.T) {
+	space := conf.StandardSpace()
+	cl := cluster.Standard()
+	sim := sparksim.New(cl, 7)
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range workloads.All() {
+		aborts := 0
+		for i := 0; i < 40; i++ {
+			cfg := space.Random(rng)
+			mb := w.InputMB(w.Sizes[i%len(w.Sizes)])
+			v := sparksim.CheckMemory(cl, cfg, &w.Program, mb)
+			if !v.Abort {
+				continue
+			}
+			aborts++
+			res := sim.Run(&w.Program, mb, cfg)
+			if !res.Aborted {
+				t.Errorf("%s cfg %d: CheckMemory predicts abort but the simulator completed (worst %q %.2f)",
+					w.Abbr, i, v.WorstStage, v.WorstPressure)
+			}
+		}
+		// The crafted starved configuration must abort in both worlds so
+		// the implication above is exercised on every workload.
+		cfg := oomConfig(space)
+		mb := w.InputMB(w.Sizes[len(w.Sizes)-1])
+		v := sparksim.CheckMemory(cl, cfg, &w.Program, mb)
+		res := sim.Run(&w.Program, mb, cfg)
+		if v.Abort != res.Aborted {
+			t.Errorf("%s starved cfg: CheckMemory abort=%v, simulator aborted=%v", w.Abbr, v.Abort, res.Aborted)
+		}
+		if v.Abort {
+			aborts++
+		}
+		if aborts == 0 {
+			t.Errorf("%s: no aborting configuration found; calibration test is vacuous", w.Abbr)
+		}
+	}
+}
+
+func TestCheckMemoryDeterministic(t *testing.T) {
+	space := conf.StandardSpace()
+	w, _ := workloads.ByAbbr("WC")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		cfg := space.Random(rng)
+		mb := w.InputMB(w.Sizes[i%len(w.Sizes)])
+		a := sparksim.CheckMemory(cluster.Standard(), cfg, &w.Program, mb)
+		b := sparksim.CheckMemory(cluster.Standard(), cfg, &w.Program, mb)
+		if a != b {
+			t.Fatalf("verdicts differ across calls: %+v vs %+v", a, b)
+		}
+	}
+}
