@@ -57,6 +57,17 @@ func addrFlag(fs *flag.FlagSet) *string {
 	return fs.String("addr", "http://127.0.0.1:7411", "dacd base URL")
 }
 
+// dacToken is the shared secret attached to every request when set —
+// daemons started with -auth-token reject mutating calls without it.
+var dacToken string
+
+// authFlag registers -auth-token and arranges for apiDo to send it.
+// Callers must invoke the returned commit after fs.Parse.
+func authFlag(fs *flag.FlagSet) (commit func()) {
+	tok := fs.String("auth-token", os.Getenv("DAC_TOKEN"), "shared secret for daemons started with -auth-token (default $DAC_TOKEN)")
+	return func() { dacToken = *tok }
+}
+
 // apiDo performs one request and decodes the JSON body, turning the
 // daemon's {"error": ...} responses into Go errors.
 func apiDo(method, url string, body any) (map[string]any, error) {
@@ -74,6 +85,9 @@ func apiDo(method, url string, body any) (map[string]any, error) {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if dacToken != "" {
+		req.Header.Set("Authorization", "Bearer "+dacToken)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -137,7 +151,9 @@ func clientSubmit(args []string) error {
 	iterBatch := fs.Int("iter-batch", 0, "tune_online: measured candidates per iteration")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print its final state")
 	timeout := fs.Duration("timeout", 10*time.Minute, "-wait limit")
+	commitAuth := authFlag(fs)
 	fs.Parse(args)
+	commitAuth()
 
 	var spec serve.JobSpec
 	if *specJSON != "" {
@@ -231,7 +247,9 @@ func clientCancel(args []string) error {
 	fs := flag.NewFlagSet("client cancel", flag.ExitOnError)
 	addr := addrFlag(fs)
 	id := fs.Int64("id", 0, "job id (required)")
+	commitAuth := authFlag(fs)
 	fs.Parse(args)
+	commitAuth()
 	if *id == 0 {
 		return fmt.Errorf("client: cancel needs -id")
 	}

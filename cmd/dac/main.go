@@ -77,6 +77,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "client":
 		err = cmdClient(os.Args[2:])
 	default:
@@ -90,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench|serve|client> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench|serve|worker|client> [flags]
   dac collect -workload TS -n 2000 -out ts.csv
   dac train   -in ts.csv -out ts.model          # fit HM on collected data
   dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
@@ -100,7 +102,8 @@ func usage() {
   dac compare -workload TS [-ntrain 2000]
   dac importance -in ts.csv [-top 10]
   dac bench   [-json BENCH_model.json] [-quick]  # serial vs batched/parallel
-  dac serve   [-addr :7411] [-data dacd-data] [-workers 2]  # tuning daemon (HTTP API)
+  dac serve   [-addr :7411] [-data dacd-data] [-workers 2] [-coordinator] [-auth-token T] [-gc-keep-versions N]
+  dac worker  [-coordinator http://127.0.0.1:7411] [-name w1] [-parallelism N]  # fleet sweep worker
   dac client  <submit|status|jobs|cancel|models|predict|backends> [-addr http://127.0.0.1:7411]
 pipeline subcommands also accept -report (print metrics report),
 -metrics <path> (write metrics JSON), -cpuprofile <path> and

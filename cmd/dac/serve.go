@@ -33,6 +33,11 @@ func cmdServe(args []string) error {
 	keepVersions := fs.Int("keep-versions", 4, "old model versions kept hot beside the latest (0 = keep none)")
 	noHotPath := fs.Bool("no-hot-path", false, "disable the serving cache: decode the model from disk on every predict")
 	memoCap := fs.Int("memo-cap", 262144, "max memoized prediction vectors per hot model version (must be positive)")
+	coordinator := fs.Bool("coordinator", false, "enable the fleet coordinator: collect sweeps shard across `dac worker` agents when any are live (DESIGN.md §15)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "fleet: lease/liveness horizon past a worker's last heartbeat")
+	chunkRows := fs.Int("chunk-rows", 64, "fleet: sweep rows per leased chunk")
+	authToken := fs.String("auth-token", os.Getenv("DAC_TOKEN"), "shared secret required on mutating endpoints; empty runs open (default $DAC_TOKEN)")
+	gcKeepVersions := fs.Int("gc-keep-versions", 0, "prune each registry model to its newest N versions, on startup and after every registration (0 = keep all)")
 	fs.Parse(args)
 
 	// Flag values are validated loudly at startup: a zero/negative window
@@ -51,6 +56,15 @@ func cmdServe(args []string) error {
 	if *keepVersions < 0 {
 		return fmt.Errorf("serve: -keep-versions must not be negative, got %d", *keepVersions)
 	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("serve: -lease-ttl must be positive, got %v", *leaseTTL)
+	}
+	if *chunkRows < 1 {
+		return fmt.Errorf("serve: -chunk-rows must be at least 1, got %d", *chunkRows)
+	}
+	if *gcKeepVersions < 0 {
+		return fmt.Errorf("serve: -gc-keep-versions must not be negative, got %d", *gcKeepVersions)
+	}
 	keep := *keepVersions
 	if keep == 0 {
 		keep = -1 // the library's "keep none"; 0 would select its default
@@ -66,6 +80,13 @@ func cmdServe(args []string) error {
 			KeepOldVersions: keep,
 			MemoCap:         *memoCap,
 		},
+		Fleet: serve.FleetOptions{
+			Enabled:   *coordinator,
+			LeaseTTL:  *leaseTTL,
+			ChunkRows: *chunkRows,
+		},
+		AuthToken:      *authToken,
+		GCKeepVersions: *gcKeepVersions,
 	})
 	if err != nil {
 		return err
@@ -80,7 +101,14 @@ func cmdServe(args []string) error {
 	if err := os.WriteFile(filepath.Join(*data, "addr"), []byte(bound+"\n"), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("dacd listening on %s (data: %s, %d workers)\n", bound, *data, *workers)
+	mode := ""
+	if *coordinator {
+		mode = ", fleet coordinator on"
+	}
+	if *authToken != "" {
+		mode += ", auth required"
+	}
+	fmt.Printf("dacd listening on %s (data: %s, %d workers%s)\n", bound, *data, *workers, mode)
 
 	hs := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/fleet"
+)
+
+// cmdWorker runs a fleet worker agent: it registers with a dacd
+// coordinator (a daemon started with -coordinator), heartbeats, leases
+// sweep chunks, executes them on the local simulator, and streams the
+// results back. Any number of workers may point at one coordinator; the
+// merged training set is byte-identical regardless of the count
+// (DESIGN.md §15). SIGINT/SIGTERM exit cleanly — in-flight leases simply
+// expire and requeue on the coordinator.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "http://127.0.0.1:7411", "coordinator (dacd) base URL")
+	name := fs.String("name", "", "stable worker name; reusing it after a crash revokes the dead process's leases immediately (empty = coordinator-assigned)")
+	token := fs.String("auth-token", os.Getenv("DAC_TOKEN"), "shared secret for a daemon started with -auth-token (default $DAC_TOKEN)")
+	parallelism := fs.Int("parallelism", runtime.GOMAXPROCS(0), "goroutines executing one leased chunk (min 1)")
+	quiet := fs.Bool("quiet", false, "suppress per-chunk progress lines")
+	fs.Parse(args)
+	if *parallelism < 1 {
+		return fmt.Errorf("worker: -parallelism must be at least 1, got %d", *parallelism)
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	w := fleet.NewWorker(fleet.WorkerOptions{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Token:       *token,
+		Parallelism: *parallelism,
+		Logf:        logf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	err := w.Run(ctx)
+	if errors.Is(err, fleet.ErrSuperseded) {
+		return fmt.Errorf("worker %s: superseded by a newer registration under the same name", w.ID())
+	}
+	return err
+}

@@ -8,6 +8,7 @@
 //	experiments -fig 12a        # one figure (2, 3, 7, 8, 9, 10, 11, 12a, 12b, 13, 14)
 //	experiments -fig ext        # the §2.1 KV-store generality extension
 //	experiments -fig online     # online importance-screened tuning vs full DAC
+//	experiments -fig fleet      # distributed collect throughput at 1/2/4 workers
 //	experiments -table 2        # one table (1, 2, 3)
 package main
 
@@ -180,6 +181,17 @@ func main() {
 				budgets = []int{20, 100}
 			}
 			fmt.Print(experiments.RenderNaive("TS", experiments.Naive(sc, "TS", budgets)))
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "fleet") {
+		run("Analysis: fleet scaling (sharded collect at 1/2/4 workers)", func() {
+			out, err := experiments.FleetScale(sc, []int{1, 2, 4})
+			if err != nil {
+				fmt.Println("fleet scaling failed:", err)
+				return
+			}
+			fmt.Print(experiments.RenderFleetScale(out))
 		})
 	}
 }

@@ -71,6 +71,36 @@ func (t *Tuner) CollectJobs(sizesMB []float64) []Job {
 	return jobs
 }
 
+// ExecuteRows executes the named sweep rows on the tuner's executor and
+// returns them as RowTimes in the given index order. This is the
+// one-chunk slice of a collect sweep — the fleet coordinator's local
+// fallback and ad-hoc re-execution use it — and inherits the collector's
+// determinism: each row's time depends only on its job spec, so the
+// times match a full CollectResumable run bit-for-bit.
+func (t *Tuner) ExecuteRows(jobs []Job, indices []int) ([]RowTime, error) {
+	jbuf := make([]Job, len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= len(jobs) {
+			return nil, fmt.Errorf("core: row index %d outside sweep of %d rows", i, len(jobs))
+		}
+		jbuf[k] = jobs[i]
+	}
+	var sec []float64
+	if be, ok := t.Exec.(BatchExecutor); ok {
+		sec = be.ExecuteBatch(jbuf)
+	} else {
+		sec = make([]float64, len(jbuf))
+		for k, j := range jbuf {
+			sec[k] = t.Exec.Execute(j.Cfg, j.DsizeMB)
+		}
+	}
+	rows := make([]RowTime, len(indices))
+	for k, i := range indices {
+		rows[k] = RowTime{Index: i, Job: jobs[i], TimeSec: sec[k]}
+	}
+	return rows, nil
+}
+
 // CollectResumable is Collect with durability seams: rows already known
 // (journaled by a previous, interrupted run) are skipped, freshly
 // executed rows are handed to OnBatch in checkpoint-sized batches as they

@@ -1,0 +1,480 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// testSpec builds a valid sweep spec for n rows.
+func testSpec(n int) SweepSpec {
+	sizes := []float64{10, 20}
+	return SweepSpec{
+		Workload: "TS",
+		Seed:     1,
+		NTrain:   n,
+		SizesMB:  sizes,
+		MetaHash: journal.MetaHash("TS", 1, n, sizes),
+	}
+}
+
+// rowTime is the fake execution function every fleet test shares: a
+// pure function of the row index, like the real simulator.
+func rowTime(idx int) float64 { return float64(idx) + 0.5 }
+
+// mergeSink collects merged rows like the daemon's journal does.
+type mergeSink struct {
+	mu   sync.Mutex
+	rows map[int]float64
+}
+
+func newMergeSink() *mergeSink { return &mergeSink{rows: make(map[int]float64)} }
+
+func (s *mergeSink) OnRows(rows []core.RowTime) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range rows {
+		s.rows[r.Index] = r.TimeSec
+	}
+	return nil
+}
+
+func (s *mergeSink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// startSweep runs RunSweep in a goroutine and returns the error channel.
+func startSweep(ctx context.Context, c *Coordinator, spec SweepSpec, hooks SweepHooks) chan error {
+	done := make(chan error, 1)
+	go func() { done <- c.RunSweep(ctx, 1, spec, hooks) }()
+	return done
+}
+
+// executeChunk answers one lease like a correct worker would. Errors
+// report via t.Error so it is safe from worker goroutines.
+func executeChunk(t *testing.T, c *Coordinator, id string, epoch int64, lease LeaseResponse) {
+	t.Helper()
+	rows := make([]ResultRow, len(lease.Indices))
+	for i, idx := range lease.Indices {
+		rows[i] = ResultRow{Index: idx, TimeSec: rowTime(idx)}
+	}
+	resp, err := c.results(id, resultsRequest{Epoch: epoch, Sweep: lease.Sweep, Chunk: lease.Chunk, Rows: rows})
+	if err != nil {
+		t.Errorf("results: %v", err)
+		return
+	}
+	if !resp.Accepted {
+		t.Errorf("results rejected: %s", resp.Reason)
+	}
+}
+
+// leaseWait retries until a chunk is granted — RunSweep registers the
+// sweep asynchronously, so the first lease request can race it.
+func leaseWait(t *testing.T, c *Coordinator, id string, epoch int64) LeaseResponse {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lease, err := c.lease(id, epoch)
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if lease.Lease {
+			return lease
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no chunk granted within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// drain leases until the sweep has nothing pending, executing every
+// granted chunk.
+func drain(t *testing.T, c *Coordinator, id string, epoch int64) {
+	t.Helper()
+	for {
+		lease, err := c.lease(id, epoch)
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if !lease.Lease {
+			return
+		}
+		executeChunk(t, c, id, epoch, lease)
+	}
+}
+
+// A sweep sharded across two workers merges every row exactly once, and
+// known (already-journaled) rows are never dispatched.
+func TestSweepShardsAndSkipsKnownRows(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: time.Second, ChunkRows: 4, Obs: reg})
+	spec := testSpec(19)
+	sink := newMergeSink()
+	// Rows 0 and 7 are already journaled.
+	known := map[int]float64{0: rowTime(0), 7: rowTime(7)}
+	done := startSweep(context.Background(), c, spec, SweepHooks{
+		Known:  func(i int) (float64, bool) { s, ok := known[i]; return s, ok },
+		OnRows: sink.OnRows,
+	})
+
+	a, err := c.register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, w := range []RegisterResponse{a, b} {
+		wg.Add(1)
+		go func(w RegisterResponse) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lease, err := c.lease(w.ID, w.Epoch)
+				if err != nil {
+					t.Errorf("lease: %v", err)
+					return
+				}
+				if !lease.Lease {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				executeChunk(t, c, w.ID, w.Epoch, lease)
+			}
+		}(w)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if sink.len() != 17 {
+		t.Fatalf("merged %d rows, want 17 (19 minus 2 known)", sink.len())
+	}
+	if _, ok := sink.rows[0]; ok {
+		t.Fatal("known row 0 was re-dispatched")
+	}
+	for idx, sec := range sink.rows {
+		if sec != rowTime(idx) {
+			t.Fatalf("row %d merged %v, want %v", idx, sec, rowTime(idx))
+		}
+	}
+	if got := reg.Counter("fleet.rows.merged").Value(); got != 17 {
+		t.Fatalf("fleet.rows.merged = %d, want 17", got)
+	}
+	if got := reg.Counter("fleet.workers.registered").Value(); got != 2 {
+		t.Fatalf("fleet.workers.registered = %d, want 2", got)
+	}
+}
+
+// A worker that leases a chunk and then goes silent loses it: the lease
+// expires after the TTL and the chunk requeues to a live worker. The
+// dead worker's late results are rejected, not double-merged.
+func TestLeaseExpiryRequeuesChunk(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: 80 * time.Millisecond, ChunkRows: 4, Obs: reg})
+	spec := testSpec(8)
+	sink := newMergeSink()
+	done := startSweep(context.Background(), c, spec, SweepHooks{OnRows: sink.OnRows})
+
+	dead, err := c.register("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := leaseWait(t, c, dead.ID, dead.Epoch)
+	// The dead worker never heartbeats again. A live worker drains the
+	// sweep; it can only finish once the dead worker's chunk requeues.
+	live, err := c.register("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sinkDone := false; !sinkDone; {
+		l, err := c.lease(live.ID, live.Epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Lease {
+			executeChunk(t, c, live.ID, live.Epoch, l)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("sweep: %v", err)
+			}
+			sinkDone = true
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("sweep did not finish after lease expiry")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if reg.Counter("fleet.leases.expired").Value() < 1 {
+		t.Fatal("no lease expired")
+	}
+	if reg.Counter("fleet.leases.requeued").Value() < 1 {
+		t.Fatal("no lease requeued")
+	}
+	if reg.Counter("fleet.workers.lost").Value() < 1 {
+		t.Fatal("dead worker not marked lost")
+	}
+	if sink.len() != 8 {
+		t.Fatalf("merged %d rows, want 8", sink.len())
+	}
+
+	// The dead worker wakes up and posts its stale chunk: rejected —
+	// the sweep is gone, and its rows must not merge twice.
+	rows := make([]ResultRow, len(lease.Indices))
+	for i, idx := range lease.Indices {
+		rows[i] = ResultRow{Index: idx, TimeSec: rowTime(idx)}
+	}
+	resp, _ := c.results(dead.ID, resultsRequest{Epoch: dead.Epoch, Sweep: lease.Sweep, Chunk: lease.Chunk, Rows: rows})
+	if resp.Accepted {
+		t.Fatal("stale results accepted after lease expiry")
+	}
+	if reg.Counter("fleet.results.rejected").Value() < 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// Re-registering a worker name bumps its epoch and fences the old
+// process out: its leases revoke, and both its lease requests and its
+// results are rejected with the stale-epoch error.
+func TestZombieEpochFencing(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: time.Second, ChunkRows: 4, Obs: reg})
+	spec := testSpec(8)
+	sink := newMergeSink()
+	done := startSweep(context.Background(), c, spec, SweepHooks{OnRows: sink.OnRows})
+
+	old, err := c.register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := leaseWait(t, c, old.ID, old.Epoch)
+
+	// The process restarts under the same name before the old one dies:
+	// epoch bumps, the old lease revokes instantly.
+	cur, err := c.register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Epoch != old.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", cur.Epoch, old.Epoch+1)
+	}
+	if reg.Counter("fleet.leases.requeued").Value() < 1 {
+		t.Fatal("old epoch's lease not revoked on re-register")
+	}
+
+	// The zombie's requests all bounce off the fence.
+	if _, err := c.lease(old.ID, old.Epoch); !errors.Is(err, errStaleEpoch) {
+		t.Fatalf("zombie lease error = %v, want errStaleEpoch", err)
+	}
+	rows := make([]ResultRow, len(lease.Indices))
+	for i, idx := range lease.Indices {
+		rows[i] = ResultRow{Index: idx, TimeSec: rowTime(idx)}
+	}
+	if _, err := c.results(old.ID, resultsRequest{Epoch: old.Epoch, Sweep: lease.Sweep, Chunk: lease.Chunk, Rows: rows}); !errors.Is(err, errStaleEpoch) {
+		t.Fatalf("zombie results error = %v, want errStaleEpoch", err)
+	}
+
+	drain(t, c, cur.ID, cur.Epoch)
+	if err := <-done; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sink.len() != 8 {
+		t.Fatalf("merged %d rows, want 8 (zombie must not double-merge)", sink.len())
+	}
+}
+
+// A sweep whose fleet is empty (or died) finishes anyway through the
+// local fallback.
+func TestLocalFallbackWithNoWorkers(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: 40 * time.Millisecond, ChunkRows: 4, Obs: reg})
+	spec := testSpec(10)
+	sink := newMergeSink()
+	err := c.RunSweep(context.Background(), 1, spec, SweepHooks{
+		OnRows: sink.OnRows,
+		RunLocal: func(ctx context.Context, indices []int) ([]core.RowTime, error) {
+			rows := make([]core.RowTime, len(indices))
+			for i, idx := range indices {
+				rows[i] = core.RowTime{Index: idx, TimeSec: rowTime(idx)}
+			}
+			return rows, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sink.len() != 10 {
+		t.Fatalf("merged %d rows, want 10", sink.len())
+	}
+	if reg.Counter("fleet.chunks.local").Value() < 1 {
+		t.Fatal("local fallback did not run")
+	}
+}
+
+// Malformed results (wrong indices for the chunk) requeue the chunk
+// instead of merging garbage or wedging the sweep.
+func TestMalformedResultsRequeue(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: time.Second, ChunkRows: 4, Obs: reg})
+	spec := testSpec(4)
+	sink := newMergeSink()
+	done := startSweep(context.Background(), c, spec, SweepHooks{OnRows: sink.OnRows})
+
+	w, err := c.register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := leaseWait(t, c, w.ID, w.Epoch)
+	resp, err := c.results(w.ID, resultsRequest{
+		Epoch: w.Epoch, Sweep: lease.Sweep, Chunk: lease.Chunk,
+		Rows: []ResultRow{{Index: 99, TimeSec: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted {
+		t.Fatal("malformed results accepted")
+	}
+	drain(t, c, w.ID, w.Epoch)
+	if err := <-done; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sink.len() != 4 {
+		t.Fatalf("merged %d rows, want 4", sink.len())
+	}
+}
+
+// A spec whose MetaHash doesn't match its fields is rejected before any
+// chunk is built.
+func TestSpecValidation(t *testing.T) {
+	c := NewCoordinator(Options{})
+	spec := testSpec(4)
+	spec.MetaHash = "0000000000000000"
+	if err := c.RunSweep(context.Background(), 1, spec, SweepHooks{}); err == nil {
+		t.Fatal("mismatched meta hash accepted")
+	}
+}
+
+// The full HTTP loop: a Worker agent against the coordinator's routes,
+// with a fake runner — registration, heartbeats, leases, results, and
+// the sweep completing through the agent's own loop.
+func TestWorkerAgentOverHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: 500 * time.Millisecond, ChunkRows: 4, Obs: reg})
+	mux := http.NewServeMux()
+	c.Routes(mux, nil)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	spec := testSpec(19)
+	sink := newMergeSink()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	done := startSweep(ctx, c, spec, SweepHooks{OnRows: sink.OnRows})
+
+	wctx, stopWorker := context.WithCancel(ctx)
+	defer stopWorker()
+	w := NewWorker(WorkerOptions{
+		Coordinator: ts.URL,
+		Name:        "httpw",
+		NewRunner: func(spec SweepSpec, parallelism int) (RunnerFunc, error) {
+			if err := spec.Validate(); err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context, indices []int) ([]ResultRow, error) {
+				rows := make([]ResultRow, len(indices))
+				for i, idx := range indices {
+					rows[i] = ResultRow{Index: idx, TimeSec: rowTime(idx)}
+				}
+				return rows, nil
+			}, nil
+		},
+	})
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(wctx) }()
+
+	if err := <-done; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	stopWorker()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if sink.len() != 19 {
+		t.Fatalf("merged %d rows, want 19", sink.len())
+	}
+	// The registry reflects the agent.
+	ws := c.Workers()
+	if len(ws) != 1 || ws[0].ID != "httpw" {
+		t.Fatalf("workers = %+v, want one 'httpw'", ws)
+	}
+}
+
+// LiveWorkers tracks heartbeat recency: a worker counts while beating
+// and stops counting once it has been silent past the TTL.
+func TestLiveWorkers(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: 60 * time.Millisecond})
+	if got := c.LiveWorkers(); got != 0 {
+		t.Fatalf("LiveWorkers = %d, want 0", got)
+	}
+	w, err := c.register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LiveWorkers(); got != 1 {
+		t.Fatalf("LiveWorkers = %d, want 1", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.LiveWorkers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent worker still counted live")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A heartbeat resurrects it.
+	if err := c.heartbeat(w.ID, w.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LiveWorkers(); got != 1 {
+		t.Fatalf("LiveWorkers after resurrection = %d, want 1", got)
+	}
+}
+
+// Worker names are validated like registry model names: path-safe only.
+func TestWorkerNameValidation(t *testing.T) {
+	c := NewCoordinator(Options{})
+	if _, err := c.register("../evil"); err == nil {
+		t.Fatal("path-traversal name accepted")
+	}
+	if _, err := c.register(fmt.Sprintf("%065d", 0)); err == nil {
+		t.Fatal("overlong name accepted")
+	}
+	r, err := c.register("")
+	if err != nil || r.ID == "" {
+		t.Fatalf("anonymous registration = %+v, %v", r, err)
+	}
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Routes mounts the fleet protocol on mux. wrap decorates each handler —
+// the daemon threads its auth middleware through here so the fleet's
+// mutating endpoints honor the same shared secret as job submission;
+// nil mounts the handlers bare.
+func (c *Coordinator) Routes(mux *http.ServeMux, wrap func(http.Handler) http.Handler) {
+	if wrap == nil {
+		wrap = func(h http.Handler) http.Handler { return h }
+	}
+	mux.Handle("POST /workers/register", wrap(http.HandlerFunc(c.handleRegister)))
+	mux.Handle("POST /workers/{id}/heartbeat", wrap(http.HandlerFunc(c.handleHeartbeat)))
+	mux.Handle("POST /workers/{id}/lease", wrap(http.HandlerFunc(c.handleLease)))
+	mux.Handle("POST /workers/{id}/results", wrap(http.HandlerFunc(c.handleResults)))
+	mux.Handle("GET /workers", http.HandlerFunc(c.handleWorkers))
+}
+
+func fleetJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fleetError(w http.ResponseWriter, status int, err error) {
+	fleetJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// workerStatus maps the coordinator's fence errors to HTTP statuses: an
+// unknown worker must re-register (404), a stale epoch is a conflict the
+// zombie should treat as fatal (409).
+func workerStatus(err error) int {
+	switch {
+	case errors.Is(err, errUnknownWorker):
+		return http.StatusNotFound
+	case errors.Is(err, errStaleEpoch):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		fleetError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := c.register(req.Name)
+	if err != nil {
+		fleetError(w, http.StatusBadRequest, err)
+		return
+	}
+	fleetJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req epochRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := c.heartbeat(r.PathValue("id"), req.Epoch); err != nil {
+		fleetError(w, workerStatus(err), err)
+		return
+	}
+	fleetJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req epochRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := c.lease(r.PathValue("id"), req.Epoch)
+	if err != nil {
+		fleetError(w, workerStatus(err), err)
+		return
+	}
+	fleetJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	var req resultsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := c.results(r.PathValue("id"), req)
+	if err != nil {
+		fleetError(w, workerStatus(err), err)
+		return
+	}
+	// Fence rejections are well-formed protocol answers, not HTTP errors:
+	// the worker drops the chunk and leases the next one.
+	fleetJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	fleetJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+}

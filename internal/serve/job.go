@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/ga"
 	"repro/internal/hm"
 	"repro/internal/model"
@@ -174,6 +175,11 @@ type Manager struct {
 	wg         sync.WaitGroup
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
+
+	// fleet, when non-nil, is the coordinator collect sweeps shard
+	// through whenever it has live workers (fleet.go); without workers
+	// (or without a coordinator) sweeps run on the local pool.
+	fleet *fleet.Coordinator
 
 	// testBatchHook, when non-nil, observes every journaled collect
 	// checkpoint (cumulative journaled row count). Tests use it to hold
@@ -758,6 +764,12 @@ func (m *Manager) collectDurable(ctx context.Context, id int64, spec JobSpec, t 
 	defer jl.Close()
 	if n := jl.Rows(); n > 0 {
 		m.obs.Counter("serve.collect.resumed.rows").Add(int64(n))
+	}
+	// Dispatch: a coordinator with live workers shards the sweep across
+	// the fleet; otherwise the local worker pool runs it. Both paths
+	// journal into jl and produce byte-identical sets (DESIGN.md §15).
+	if m.fleet != nil && m.fleet.LiveWorkers() > 0 {
+		return m.collectFleet(ctx, id, t, w, sizes, jl)
 	}
 	var appendErr error
 	var appendMu sync.Mutex

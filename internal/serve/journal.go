@@ -6,207 +6,27 @@
 // it left off — completed rows are never re-executed, and the finished
 // training set is byte-identical to an uninterrupted run (the core
 // collector's determinism contract). Finished models land in the
-// registry, where later jobs can warm-start them via hm.Resume.
+// registry, where later jobs can warm-start them via hm.Resume. With the
+// fleet coordinator enabled (DESIGN.md §15), collect sweeps shard across
+// registered workers and merge into the same journal.
 package serve
 
-import (
-	"bufio"
-	"fmt"
-	"hash/crc32"
-	"hash/fnv"
-	"os"
-	"strconv"
-	"strings"
-	"sync"
+import "repro/internal/journal"
 
-	"repro/internal/core"
-)
-
-// journalMagic heads every journal file, followed by the meta hash that
-// binds the journal to one exact sweep.
-const journalMagic = "dacj1"
-
-// Journal is an append-only record of completed collect rows, the durable
-// half of CollectResumable. Each record is one (row index, time) pair;
-// the sweep's job list is a pure function of its options, so the index
-// alone identifies the row across daemon restarts. The header carries a
-// hash of the sweep's parameters (workload, seed, ntrain, sizes) —
-// opening a journal with different parameters fails instead of silently
-// splicing rows from a different sweep into the training set.
-//
-// The on-disk format is line-oriented text:
-//
-//	dacj1 <metaHash>\n
-//	r,<index>,<timeSec>,<crc32>\n
-//	...
-//
-// with timeSec in strconv 'g'/-1 form (round-trips exactly) and the CRC
-// over the line's first three fields. A torn tail — the partial last line
-// a SIGKILL can leave — fails its CRC or parse and is truncated away on
-// open; every fully synced record before it survives.
-type Journal struct {
-	mu    sync.Mutex
-	f     *os.File
-	known map[int]float64
-}
+// Journal is the append-only collect journal. The implementation moved
+// to internal/journal when the fleet coordinator started merging worker
+// results into the same format; these names stay as the daemon-facing
+// aliases so serve's callers and tests read naturally.
+type Journal = journal.Journal
 
 // MetaHash canonicalizes a sweep's identity into the hash the journal
-// header stores: FNV-64a over the workload, seed, row count, and exact
-// training sizes.
+// header stores; see journal.MetaHash.
 func MetaHash(workload string, seed int64, ntrain int, sizesMB []float64) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%d|%d", workload, seed, ntrain)
-	for _, s := range sizesMB {
-		b.WriteByte('|')
-		b.WriteString(strconv.FormatFloat(s, 'g', -1, 64))
-	}
-	h := fnv.New64a()
-	h.Write([]byte(b.String()))
-	return fmt.Sprintf("%016x", h.Sum64())
+	return journal.MetaHash(workload, seed, ntrain, sizesMB)
 }
 
 // OpenJournal opens (or creates) the journal at path for the sweep
-// identified by metaHash. Existing records are loaded into the known map;
-// a corrupt or torn tail is truncated. A header naming a different sweep
-// is an error.
+// identified by metaHash; see journal.Open.
 func OpenJournal(path, metaHash string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	j := &Journal{f: f, known: make(map[int]float64)}
-
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	if fi.Size() == 0 {
-		if _, err := fmt.Fprintf(f, "%s %s\n", journalMagic, metaHash); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, err
-		}
-		return j, nil
-	}
-
-	// Replay: header, then records until EOF or the first bad line.
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	if !sc.Scan() {
-		f.Close()
-		return nil, fmt.Errorf("serve: journal %s: missing header", path)
-	}
-	header := sc.Text()
-	want := journalMagic + " " + metaHash
-	if header != want {
-		f.Close()
-		return nil, fmt.Errorf("serve: journal %s: header %q does not match this sweep (%q) — refusing to mix rows from a different collect", path, header, want)
-	}
-	goodBytes := int64(len(header) + 1)
-	for sc.Scan() {
-		line := sc.Text()
-		idx, sec, ok := parseRecord(line)
-		if !ok {
-			break // torn or corrupt tail: truncate from here
-		}
-		j.known[idx] = sec
-		goodBytes += int64(len(line) + 1)
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("serve: journal %s: %w", path, err)
-	}
-	if goodBytes != fi.Size() {
-		if err := f.Truncate(goodBytes); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	if _, err := f.Seek(goodBytes, 0); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return j, nil
-}
-
-// parseRecord decodes one "r,<idx>,<time>,<crc>" line, verifying the CRC.
-func parseRecord(line string) (idx int, sec float64, ok bool) {
-	body, crcHex, found := cutLast(line, ',')
-	if !found || !strings.HasPrefix(body, "r,") {
-		return 0, 0, false
-	}
-	crc, err := strconv.ParseUint(crcHex, 16, 32)
-	if err != nil || crc32.ChecksumIEEE([]byte(body)) != uint32(crc) {
-		return 0, 0, false
-	}
-	fields := strings.Split(body, ",")
-	if len(fields) != 3 {
-		return 0, 0, false
-	}
-	idx, err = strconv.Atoi(fields[1])
-	if err != nil || idx < 0 {
-		return 0, 0, false
-	}
-	sec, err = strconv.ParseFloat(fields[2], 64)
-	if err != nil {
-		return 0, 0, false
-	}
-	return idx, sec, true
-}
-
-// cutLast splits s around the last occurrence of sep.
-func cutLast(s string, sep byte) (before, after string, found bool) {
-	if i := strings.LastIndexByte(s, sep); i >= 0 {
-		return s[:i], s[i+1:], true
-	}
-	return s, "", false
-}
-
-// Known reports row idx's journaled time — CollectHooks.Known's shape.
-func (j *Journal) Known(idx int) (float64, bool) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	sec, ok := j.known[idx]
-	return sec, ok
-}
-
-// Rows returns the number of journaled rows.
-func (j *Journal) Rows() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.known)
-}
-
-// Append journals a batch of completed rows and syncs the file — the
-// checkpoint. Safe for concurrent use from collect workers; rows are
-// durable once Append returns.
-func (j *Journal) Append(rows []core.RowTime) error {
-	var b strings.Builder
-	for _, r := range rows {
-		body := "r," + strconv.Itoa(r.Index) + "," + strconv.FormatFloat(r.TimeSec, 'g', -1, 64)
-		fmt.Fprintf(&b, "%s,%08x\n", body, crc32.ChecksumIEEE([]byte(body)))
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.WriteString(b.String()); err != nil {
-		return err
-	}
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		j.known[r.Index] = r.TimeSec
-	}
-	return nil
-}
-
-// Close closes the underlying file. The journal is not usable afterwards.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
+	return journal.Open(path, metaHash)
 }

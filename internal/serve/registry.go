@@ -13,6 +13,7 @@ import (
 	"repro/internal/backends"
 	"repro/internal/hm"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // ModelMeta describes one registry entry: where the model came from and
@@ -63,6 +64,10 @@ type ModelRegistry struct {
 	// onSave, when set, runs after every successful Save, outside the
 	// registry lock — the hot cache's Refresh hook (hotcache.go).
 	onSave func(name string)
+	// gcKeep, when > 0, bounds each model to its newest gcKeep versions:
+	// older ones are deleted after every save and by GCAll on startup.
+	gcKeep   int
+	gcPruned *obs.Counter
 }
 
 // NewModelRegistry opens (creating if needed) the registry rooted at dir,
@@ -101,6 +106,65 @@ func validName(name string) error {
 		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
 			return fmt.Errorf("serve: model name %q: use lowercase letters, digits, '-', '_'", name)
 		}
+	}
+	return nil
+}
+
+// EnableGC turns on version garbage collection: each model keeps only
+// its newest keep versions, pruned on every save and by GCAll. pruned
+// (may be nil) counts deleted versions. Call before the daemon starts
+// serving; not synchronized against concurrent saves.
+func (r *ModelRegistry) EnableGC(keep int, pruned *obs.Counter) {
+	r.gcKeep = keep
+	r.gcPruned = pruned
+}
+
+// GCAll prunes every model in the registry to the configured version
+// budget — the startup sweep over registries grown before GC was
+// enabled. No-op when EnableGC was not called.
+func (r *ModelRegistry) GCAll() error {
+	if r.gcKeep <= 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if err := r.gcLocked(e.Name()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcLocked deletes name's versions beyond the newest gcKeep. The .model
+// file goes first: versionsLocked scans .model files, so a crash between
+// the two unlinks leaves an orphaned .json that no longer counts as a
+// version (and is overwritten if the number is ever reused).
+func (r *ModelRegistry) gcLocked(name string) error {
+	if r.gcKeep <= 0 {
+		return nil
+	}
+	versions, err := r.versionsLocked(name)
+	if err != nil {
+		return err
+	}
+	if len(versions) <= r.gcKeep {
+		return nil
+	}
+	dir := filepath.Join(r.dir, name)
+	for _, v := range versions[:len(versions)-r.gcKeep] {
+		if err := os.Remove(filepath.Join(dir, fmt.Sprintf("v%d.model", v))); err != nil {
+			return err
+		}
+		os.Remove(filepath.Join(dir, fmt.Sprintf("v%d.json", v)))
+		r.gcPruned.Inc()
 	}
 	return nil
 }
@@ -176,6 +240,11 @@ func (r *ModelRegistry) save(name string, m model.Model, meta ModelMeta) (int, e
 	}); err != nil {
 		os.Remove(mp)
 		return 0, err
+	}
+	if err := r.gcLocked(name); err != nil {
+		// The new version is registered; a failed prune degrades to an
+		// over-budget registry, not a failed save.
+		return next, nil
 	}
 	return next, nil
 }

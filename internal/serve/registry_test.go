@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hm"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // registryDS builds a small synthetic dataset for registry tests.
@@ -254,5 +255,58 @@ func TestRegistryLegacyUntaggedHM(t *testing.T) {
 		if a, b := loaded.Predict(x), m.Predict(x); a != b {
 			t.Fatalf("probe %d: legacy stream drifted through the tagged reader: %v vs %v", i, a, b)
 		}
+	}
+}
+
+// GC keeps only the newest N versions: pruning runs after every save and
+// GCAll sweeps a registry that grew before GC was enabled.
+func TestRegistryGC(t *testing.T) {
+	reg, err := NewModelRegistry(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow to 4 versions with GC off, then enable: GCAll prunes to 2.
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := reg.Save("ts", trainSmall(t, seed), ModelMeta{Workload: "TS", Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pruned := obs.NewRegistry().Counter("serve.registry.gc.pruned")
+	reg.EnableGC(2, pruned)
+	if err := reg.GCAll(); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := reg.Versions("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0].Version != 3 || vs[1].Version != 4 {
+		t.Fatalf("after GCAll versions = %+v, want v3,v4", vs)
+	}
+	if pruned.Value() != 2 {
+		t.Fatalf("pruned counter = %d, want 2", pruned.Value())
+	}
+	// A pruned version is really gone; the survivors still load.
+	if _, _, err := reg.Load("ts", 1); err == nil {
+		t.Fatal("pruned v1 still loads")
+	}
+	if _, _, err := reg.Load("ts", 0); err != nil {
+		t.Fatalf("latest failed to load after GC: %v", err)
+	}
+
+	// Saves keep pruning: v5 arrives, v3 goes.
+	if _, err := reg.Save("ts", trainSmall(t, 5), ModelMeta{Workload: "TS", Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = reg.Versions("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0].Version != 4 || vs[1].Version != 5 {
+		t.Fatalf("after save versions = %+v, want v4,v5", vs)
+	}
+	// Version numbering never reuses pruned numbers.
+	if v, _ := reg.Save("ts", trainSmall(t, 6), ModelMeta{Workload: "TS", Seed: 6}); v != 6 {
+		t.Fatalf("next version = %d, want 6", v)
 	}
 }

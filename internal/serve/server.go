@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/conf"
+	"repro/internal/fleet"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/workloads"
@@ -35,9 +37,17 @@ type Server struct {
 	// ServingOptions.Disabled routes predicts through registry.Load.
 	cache *ModelCache
 	space *conf.Space
+	// fleet is the sweep coordinator (nil without FleetOptions.Enabled);
+	// its /workers routes mount on mux and collect jobs dispatch through
+	// it when workers are live.
+	fleet *fleet.Coordinator
+	// authToken, when non-empty, gates every mutating endpoint behind a
+	// constant-time Bearer-token check.
+	authToken string
 
 	predicts       *obs.Counter
 	predictLatency *obs.Histogram
+	authDenied     *obs.Counter
 }
 
 // ServerOptions configure NewServerOpts beyond the data directory.
@@ -48,6 +58,27 @@ type ServerOptions struct {
 	Obs *obs.Registry
 	// Serving tunes the hot predict path (hotcache.go).
 	Serving ServingOptions
+	// Fleet enables and tunes the sweep coordinator (DESIGN.md §15).
+	Fleet FleetOptions
+	// AuthToken, when non-empty, is the shared secret required (as
+	// "Authorization: Bearer <token>") on every mutating endpoint: job
+	// submission, cancellation, and the fleet worker protocol. Reads
+	// (job status, models, metrics, health) stay open.
+	AuthToken string
+	// GCKeepVersions, when > 0, prunes each model to its newest N
+	// versions — on startup and after every registration.
+	GCKeepVersions int
+}
+
+// FleetOptions configure the daemon's sweep coordinator.
+type FleetOptions struct {
+	// Enabled mounts the /workers protocol and routes collect sweeps
+	// through the coordinator whenever it has live workers.
+	Enabled bool
+	// LeaseTTL and ChunkRows tune the lease state machine; zero takes
+	// the fleet defaults (10s, 64 rows).
+	LeaseTTL  time.Duration
+	ChunkRows int
 }
 
 // NewServer opens dataDir (creating the layout if needed), adopts
@@ -70,8 +101,25 @@ func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
 		obs:            reg,
 		mux:            http.NewServeMux(),
 		space:          conf.StandardSpace(),
+		authToken:      opt.AuthToken,
 		predicts:       reg.Counter("serve.predicts"),
 		predictLatency: reg.Histogram("serve.predict.latency", obs.DefaultLatencyBounds),
+		authDenied:     reg.Counter("serve.auth.denied"),
+	}
+	if opt.GCKeepVersions > 0 {
+		mgr.Models().EnableGC(opt.GCKeepVersions, reg.Counter("serve.registry.gc.pruned"))
+		if err := mgr.Models().GCAll(); err != nil {
+			return nil, fmt.Errorf("serve: registry gc: %w", err)
+		}
+	}
+	if opt.Fleet.Enabled {
+		s.fleet = fleet.NewCoordinator(fleet.Options{
+			LeaseTTL:  opt.Fleet.LeaseTTL,
+			ChunkRows: opt.Fleet.ChunkRows,
+			Obs:       reg,
+		})
+		mgr.SetFleet(s.fleet)
+		s.fleet.Routes(s.mux, s.requireAuth)
 	}
 	if !opt.Serving.Disabled {
 		s.cache = NewModelCache(mgr.Models(), opt.Serving, reg)
@@ -82,10 +130,10 @@ func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
 		// the first predicts after a restart.
 		s.cache.WarmAll()
 	}
-	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.Handle("POST /jobs", s.requireAuth(http.HandlerFunc(s.handleSubmit)))
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.Handle("POST /jobs/{id}/cancel", s.requireAuth(http.HandlerFunc(s.handleCancel)))
 	s.mux.HandleFunc("GET /models", s.handleListModels)
 	s.mux.HandleFunc("GET /models/{name}", s.handleGetModel)
 	s.mux.HandleFunc("POST /models/{name}/predict", s.handlePredict)
@@ -97,6 +145,28 @@ func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
 
 // Manager exposes the job manager (tests and the CLI use it directly).
 func (s *Server) Manager() *Manager { return s.manager }
+
+// Fleet exposes the sweep coordinator (nil unless FleetOptions.Enabled).
+func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
+
+// requireAuth wraps a mutating handler with the shared-secret check. A
+// daemon started without -auth-token runs open (the historical
+// behavior); with one, requests must carry it as a Bearer token. The
+// comparison is constant-time so the token can't be guessed
+// byte-by-byte through response timing.
+func (s *Server) requireAuth(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.authToken != "" {
+			tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if subtle.ConstantTimeCompare([]byte(tok), []byte(s.authToken)) != 1 {
+				s.authDenied.Inc()
+				writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid auth token"))
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
 
 // Cache exposes the hot-model cache (nil when serving is disabled).
 func (s *Server) Cache() *ModelCache { return s.cache }
