@@ -90,13 +90,16 @@ type sweepState struct {
 	hooks     SweepHooks
 	chunks    []*chunkState
 	pending   []int // chunk IDs awaiting a lease, FIFO
-	remaining int   // chunks not yet done
+	remaining int   // chunks whose rows have not finished merging (OnRows included)
 	knownRows int
 	mergedRows int
 	totalRows  int
-	closed     bool // done closed (completed or failed)
+	closed     bool // no further hook may start (completed, failed, or abandoned)
 	err        error
 	done       chan struct{}
+	// hookWG counts in-flight finishRows hook windows; removeSweep waits
+	// on it so no OnRows/Progress call survives past RunSweep's return.
+	hookWG sync.WaitGroup
 }
 
 type workerState struct {
@@ -196,8 +199,15 @@ func (c *Coordinator) register(name string) (RegisterResponse, error) {
 	defer c.mu.Unlock()
 	c.reapLocked(now)
 	if name == "" {
-		c.nextAnon++
-		name = fmt.Sprintf("w%d", c.nextAnon)
+		// Skip generated names an operator already claimed explicitly —
+		// colliding would bump that worker's epoch and fence it out.
+		for {
+			c.nextAnon++
+			name = fmt.Sprintf("w%d", c.nextAnon)
+			if _, taken := c.workers[name]; !taken {
+				break
+			}
+		}
 	}
 	if err := validWorkerName(name); err != nil {
 		return RegisterResponse{}, err
@@ -337,7 +347,7 @@ func (c *Coordinator) results(id string, req resultsRequest) (resultsResponse, e
 		return resultsResponse{Accepted: false, Reason: err.Error()}, err
 	}
 	sw, ok := c.sweeps[req.Sweep]
-	if !ok {
+	if !ok || sw.closed {
 		c.mu.Unlock()
 		c.rejected.Inc()
 		return resultsResponse{Accepted: false, Reason: "unknown sweep (finished or abandoned)"}, nil
@@ -365,7 +375,7 @@ func (c *Coordinator) results(id string, req resultsRequest) (resultsResponse, e
 		c.rejected.Inc()
 		return resultsResponse{Accepted: false, Reason: err.Error()}, nil
 	}
-	c.completeChunkLocked(sw, ch, rows)
+	c.completeChunkLocked(sw, ch)
 	c.mu.Unlock()
 	c.finishRows(sw, rows)
 	return resultsResponse{Accepted: true}, nil
@@ -390,19 +400,32 @@ func chunkRows(ch *chunkState, in []ResultRow) ([]core.RowTime, error) {
 	return rows, nil
 }
 
-// completeChunkLocked transitions a leased chunk to done and updates the
-// sweep's row accounting. Caller holds c.mu.
-func (c *Coordinator) completeChunkLocked(sw *sweepState, ch *chunkState, rows []core.RowTime) {
+// completeChunkLocked transitions a leased chunk to done so the reaper
+// can no longer requeue it; the sweep's row accounting waits for
+// finishRows, after the rows actually merge. Caller holds c.mu.
+func (c *Coordinator) completeChunkLocked(sw *sweepState, ch *chunkState) {
 	ch.state = chunkDone
-	sw.remaining--
-	sw.mergedRows += len(rows)
-	c.merged.Add(int64(len(rows)))
 }
 
 // finishRows runs the sweep hooks for a completed chunk outside the
 // coordinator lock (the journal append fsyncs) and closes the sweep when
-// its last chunk lands.
+// its last chunk lands. The chunk only counts as done — and the sweep
+// only completes — after its OnRows append succeeded, so RunSweep can
+// never return success while a journal write is still in flight. The
+// whole hook window registers with sw.hookWG so removeSweep can wait out
+// stragglers before RunSweep returns.
 func (c *Coordinator) finishRows(sw *sweepState, rows []core.RowTime) {
+	c.mu.Lock()
+	if sw.closed {
+		// Failed or abandoned: the journal may already be closed, so no
+		// hook may start. The rows re-run on resume.
+		c.mu.Unlock()
+		return
+	}
+	sw.hookWG.Add(1)
+	c.mu.Unlock()
+	defer sw.hookWG.Done()
+
 	if sw.hooks.OnRows != nil {
 		if err := sw.hooks.OnRows(rows); err != nil {
 			c.failSweep(sw, fmt.Errorf("fleet: merging rows: %w", err))
@@ -410,12 +433,21 @@ func (c *Coordinator) finishRows(sw *sweepState, rows []core.RowTime) {
 		}
 	}
 	c.mu.Lock()
+	if sw.closed {
+		// The sweep failed (or was abandoned) while this append ran;
+		// nothing left to report.
+		c.mu.Unlock()
+		return
+	}
+	sw.remaining--
+	sw.mergedRows += len(rows)
 	done := sw.knownRows + sw.mergedRows
-	last := sw.remaining == 0 && !sw.closed
+	last := sw.remaining == 0
 	if last {
 		sw.closed = true
 	}
 	c.mu.Unlock()
+	c.merged.Add(int64(len(rows)))
 	if sw.hooks.Progress != nil {
 		sw.hooks.Progress(done, sw.totalRows)
 	}
@@ -562,22 +594,33 @@ func (c *Coordinator) runLocalFallback(ctx context.Context, sw *sweepState) {
 			return
 		}
 		c.mu.Lock()
-		c.completeChunkLocked(sw, ch, rows)
+		c.completeChunkLocked(sw, ch)
 		c.mu.Unlock()
 		c.localChunks.Inc()
 		c.finishRows(sw, rows)
 	}
 }
 
+// removeSweep retires a sweep as RunSweep returns: it closes the sweep
+// so no new hook window can open (a results handler that already looked
+// the sweep up before the delete must not append to a journal the caller
+// is about to close), then waits out any hook still in flight.
 func (c *Coordinator) removeSweep(id int64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	sw := c.sweeps[id]
 	delete(c.sweeps, id)
 	for i, sid := range c.sweepOrder {
 		if sid == id {
 			c.sweepOrder = append(c.sweepOrder[:i], c.sweepOrder[i+1:]...)
 			break
 		}
+	}
+	if sw != nil {
+		sw.closed = true
+	}
+	c.mu.Unlock()
+	if sw != nil {
+		sw.hookWG.Wait()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -461,6 +462,282 @@ func TestLiveWorkers(t *testing.T) {
 	}
 	if got := c.LiveWorkers(); got != 1 {
 		t.Fatalf("LiveWorkers after resurrection = %d, want 1", got)
+	}
+}
+
+// RunSweep must not return success while another chunk's OnRows append
+// is still in flight: the last chunk to merge may not be the last chunk
+// to post. The first chunk's append stalls while the second chunk lands;
+// the sweep may only complete after the stalled append finishes.
+func TestSweepWaitsForInFlightMerges(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Options{LeaseTTL: 5 * time.Second, ChunkRows: 4, Obs: reg})
+	spec := testSpec(8) // two chunks
+	sink := newMergeSink()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := startSweep(context.Background(), c, spec, SweepHooks{
+		OnRows: func(rows []core.RowTime) error {
+			if rows[0].Index == 0 { // chunk 0's append stalls
+				close(entered)
+				<-release
+			}
+			return sink.OnRows(rows)
+		},
+	})
+
+	w, err := c.register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := leaseWait(t, c, w.ID, w.Epoch)
+	l1 := leaseWait(t, c, w.ID, w.Epoch)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		executeChunk(t, c, w.ID, w.Epoch, l0) // blocks inside OnRows
+	}()
+	<-entered
+	executeChunk(t, c, w.ID, w.Epoch, l1) // completes normally
+
+	// Chunk 1 merged, but chunk 0's append is still in flight: the sweep
+	// must not report success yet.
+	select {
+	case err := <-done:
+		t.Fatalf("RunSweep returned (%v) while a journal append was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sink.len() != 8 {
+		t.Fatalf("merged %d rows at sweep completion, want 8", sink.len())
+	}
+	if got := reg.Counter("fleet.rows.merged").Value(); got != 8 {
+		t.Fatalf("fleet.rows.merged = %d, want 8", got)
+	}
+}
+
+// An abandoned sweep (context cancelled) must not invoke OnRows after
+// RunSweep returns — the caller closes its journal then. RunSweep waits
+// out an append already in flight, and results posted afterwards are
+// rejected without running any hook.
+func TestNoMergeAfterSweepAbandoned(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: 5 * time.Second, ChunkRows: 4})
+	spec := testSpec(8) // two chunks
+	var returned atomic.Bool
+	var merges atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := startSweep(ctx, c, spec, SweepHooks{
+		OnRows: func(rows []core.RowTime) error {
+			if returned.Load() {
+				t.Error("OnRows invoked after RunSweep returned")
+			}
+			merges.Add(1)
+			close(entered)
+			<-release
+			return nil
+		},
+	})
+
+	w, err := c.register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := leaseWait(t, c, w.ID, w.Epoch)
+	l1 := leaseWait(t, c, w.ID, w.Epoch)
+	rows := func(l LeaseResponse) []ResultRow {
+		out := make([]ResultRow, len(l.Indices))
+		for i, idx := range l.Indices {
+			out[i] = ResultRow{Index: idx, TimeSec: rowTime(idx)}
+		}
+		return out
+	}
+	go c.results(w.ID, resultsRequest{Epoch: w.Epoch, Sweep: l0.Sweep, Chunk: l0.Chunk, Rows: rows(l0)})
+	<-entered
+
+	// Abandon the sweep while chunk 0's append is still running: RunSweep
+	// must wait for it rather than return with a hook in flight.
+	cancel()
+	select {
+	case err := <-done:
+		t.Fatalf("RunSweep returned (%v) with an append still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	err = <-done
+	if err == nil {
+		t.Fatal("abandoned sweep reported success")
+	}
+	returned.Store(true)
+
+	// A result landing after the sweep ended is rejected, and its hook
+	// never runs.
+	resp, err := c.results(w.ID, resultsRequest{Epoch: w.Epoch, Sweep: l1.Sweep, Chunk: l1.Chunk, Rows: rows(l1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted {
+		t.Fatal("results accepted after the sweep was abandoned")
+	}
+	if got := merges.Load(); got != 1 {
+		t.Fatalf("OnRows ran %d times, want 1 (no merge after abandonment)", got)
+	}
+}
+
+// Anonymous registration must not collide with an explicitly-named
+// worker: handing out a taken name would bump its epoch and fence the
+// healthy owner out.
+func TestAnonymousNameAvoidsCollision(t *testing.T) {
+	c := NewCoordinator(Options{})
+	w1, err := c.register("w1") // operator-chosen name shadowing the anon pattern
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := c.register("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.ID == "w1" {
+		t.Fatal("anonymous registration collided with explicit worker w1")
+	}
+	// The explicit worker's epoch is untouched — it was not re-registered.
+	for _, wi := range c.Workers() {
+		if wi.ID == "w1" && wi.Epoch != w1.Epoch {
+			t.Fatalf("w1 epoch bumped to %d by anonymous registration", wi.Epoch)
+		}
+	}
+	// A second anonymous worker still gets a fresh name.
+	anon2, err := c.register("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon2.ID == anon.ID || anon2.ID == "w1" {
+		t.Fatalf("second anonymous name %q collides", anon2.ID)
+	}
+}
+
+// A coordinator restart loses the registry: the worker's next request
+// 404s and it re-registers while its heartbeat goroutine keeps running —
+// this must be race-free (run under -race) and the worker must then
+// drain a sweep on the new coordinator instead of exiting.
+func TestWorkerReregistersAfterCoordinatorRestart(t *testing.T) {
+	opts := Options{LeaseTTL: 200 * time.Millisecond, ChunkRows: 4}
+	c1 := NewCoordinator(opts)
+	c2 := NewCoordinator(opts)
+	mux1, mux2 := http.NewServeMux(), http.NewServeMux()
+	c1.Routes(mux1, nil)
+	c2.Routes(mux2, nil)
+	var cur atomic.Pointer[http.ServeMux]
+	cur.Store(mux1)
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(rw, r)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	w := NewWorker(WorkerOptions{
+		Coordinator: ts.URL,
+		Name:        "resurrect",
+		NewRunner: func(spec SweepSpec, parallelism int) (RunnerFunc, error) {
+			return func(ctx context.Context, indices []int) ([]ResultRow, error) {
+				rows := make([]ResultRow, len(indices))
+				for i, idx := range indices {
+					rows[i] = ResultRow{Index: idx, TimeSec: rowTime(idx)}
+				}
+				return rows, nil
+			}, nil
+		},
+	})
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c1.LiveWorkers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered with the first coordinator")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Let the heartbeat loop run a few beats against c1, then "restart"
+	// the coordinator: same address, empty registry.
+	time.Sleep(150 * time.Millisecond)
+	cur.Store(mux2)
+
+	sink := newMergeSink()
+	done := startSweep(ctx, c2, testSpec(12), SweepHooks{OnRows: sink.OnRows})
+	if err := <-done; err != nil {
+		t.Fatalf("sweep on restarted coordinator: %v", err)
+	}
+	if sink.len() != 12 {
+		t.Fatalf("merged %d rows, want 12", sink.len())
+	}
+	select {
+	case err := <-workerDone:
+		t.Fatalf("worker exited during coordinator restart: %v", err)
+	default:
+	}
+	cancel()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+}
+
+// A stale-epoch heartbeat that raced the worker's own re-registration is
+// not fatal: the loop notices the identity it sent has been replaced and
+// carries on. A 409 on the *current* identity remains fatal.
+func TestHeartbeatRacedSupersessionNotFatal(t *testing.T) {
+	var beats atomic.Int32
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	arrived := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		n := beats.Add(1)
+		if n == 1 {
+			// Hold the first beat mid-flight while the "re-registration"
+			// lands, then reject it as stale.
+			gateOnce.Do(func() { close(arrived) })
+			<-gate
+		}
+		rw.WriteHeader(http.StatusConflict)
+	}))
+	defer ts.Close()
+
+	w := NewWorker(WorkerOptions{Coordinator: ts.URL})
+	w.mu.Lock()
+	w.id, w.epoch, w.beat = "w", 1, 10*time.Millisecond
+	w.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fatal := make(chan error, 1)
+	go w.heartbeatLoop(ctx, fatal)
+
+	<-arrived
+	// Run's loop re-registers (new epoch) while beat #1 is in flight.
+	w.mu.Lock()
+	w.epoch = 2
+	w.mu.Unlock()
+	close(gate)
+
+	// Beat #1's 409 carried epoch 1, already replaced: tolerated. Beat #2
+	// sends epoch 2, the current identity, and its 409 is a genuine fence.
+	select {
+	case err := <-fatal:
+		if !errors.Is(err, ErrSuperseded) {
+			t.Fatalf("fatal = %v, want ErrSuperseded", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("heartbeat loop never declared the genuine supersession fatal")
+	}
+	if beats.Load() < 2 {
+		t.Fatalf("loop died on the raced first beat (%d beats sent)", beats.Load())
 	}
 }
 

@@ -65,10 +65,13 @@ type Worker struct {
 	opt    WorkerOptions
 	client *http.Client
 
-	id     string
-	epoch  int64
-	beat   time.Duration
-	retry  time.Duration
+	// mu guards the registration identity: Run's loop re-registers after
+	// a coordinator restart while the heartbeat goroutine keeps reading.
+	mu    sync.Mutex
+	id    string
+	epoch int64
+	beat  time.Duration
+	retry time.Duration
 
 	runnerMeta string
 	runner     RunnerFunc
@@ -90,7 +93,27 @@ func NewWorker(opt WorkerOptions) *Worker {
 }
 
 // ID reports the coordinator-assigned identity (after Run registers).
-func (w *Worker) ID() string { return w.id }
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// identity snapshots the current registration under the lock.
+func (w *Worker) identity() (id string, epoch int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id, w.epoch
+}
+
+// changedSince reports whether a re-registration replaced the given
+// identity — the signal that a stale-epoch rejection raced the worker's
+// own recovery rather than a genuine supersession.
+func (w *Worker) changedSince(id string, epoch int64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id != id || w.epoch != epoch
+}
 
 // Run registers and then works until ctx cancels (returns nil), the
 // worker is superseded (ErrSuperseded), or the coordinator becomes
@@ -99,7 +122,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	if err := w.register(ctx); err != nil {
 		return err
 	}
+	w.mu.Lock()
 	w.opt.Logf("fleet worker %s: registered (epoch %d, heartbeat %v)", w.id, w.epoch, w.beat)
+	w.mu.Unlock()
 
 	hbErr := make(chan error, 1)
 	hbCtx, stopHB := context.WithCancel(ctx)
@@ -114,6 +139,9 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		default:
 		}
+		w.mu.Lock()
+		id, retry := w.id, w.retry
+		w.mu.Unlock()
 		lease, err := w.lease(ctx)
 		switch {
 		case ctx.Err() != nil:
@@ -128,8 +156,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		case err != nil:
 			// Transient (network, 5xx): back off on the retry cadence.
-			w.opt.Logf("fleet worker %s: lease: %v", w.id, err)
-			if !sleep(ctx, w.retry) {
+			w.opt.Logf("fleet worker %s: lease: %v", id, err)
+			if !sleep(ctx, retry) {
 				return nil
 			}
 			continue
@@ -137,7 +165,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if !lease.Lease {
 			wait := time.Duration(lease.RetryMS) * time.Millisecond
 			if wait <= 0 {
-				wait = w.retry
+				wait = retry
 			}
 			if !sleep(ctx, wait) {
 				return nil
@@ -151,8 +179,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return nil
 			}
-			w.opt.Logf("fleet worker %s: chunk %d/%d: %v", w.id, lease.Sweep, lease.Chunk, err)
-			if !sleep(ctx, w.retry) {
+			w.opt.Logf("fleet worker %s: chunk %d/%d: %v", id, lease.Sweep, lease.Chunk, err)
+			if !sleep(ctx, retry) {
 				return nil
 			}
 		}
@@ -164,45 +192,65 @@ func (w *Worker) register(ctx context.Context) error {
 	if err := w.post(ctx, "/workers/register", registerRequest{Name: w.opt.Name}, &resp); err != nil {
 		return fmt.Errorf("fleet: registering with %s: %w", w.opt.Coordinator, err)
 	}
+	beat := time.Duration(resp.HeartbeatMS) * time.Millisecond
+	if beat <= 0 {
+		beat = 2 * time.Second
+	}
+	retry := beat / 2
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	w.mu.Lock()
 	w.id = resp.ID
 	w.epoch = resp.Epoch
-	w.beat = time.Duration(resp.HeartbeatMS) * time.Millisecond
-	if w.beat <= 0 {
-		w.beat = 2 * time.Second
-	}
-	w.retry = w.beat / 2
-	if w.retry < 10*time.Millisecond {
-		w.retry = 10 * time.Millisecond
-	}
+	w.beat = beat
+	w.retry = retry
+	w.mu.Unlock()
 	return nil
 }
 
-// heartbeatLoop beats on the coordinator's advertised cadence. A stale
-// epoch is fatal (the worker was superseded); transient failures are
-// retried — the lease TTL absorbs a few missed beats.
+// heartbeatLoop beats on the coordinator's advertised cadence, re-reading
+// the registration each beat (Run may re-register after a coordinator
+// restart). A stale epoch is fatal (the worker was superseded) — unless
+// the rejected beat carried an identity the worker itself has since
+// replaced, in which case the beat merely raced the re-registration and
+// the loop carries on. Transient failures are retried — the lease TTL
+// absorbs a few missed beats.
 func (w *Worker) heartbeatLoop(ctx context.Context, fatal chan<- error) {
-	t := time.NewTicker(w.beat)
-	defer t.Stop()
 	for {
-		select {
-		case <-ctx.Done():
+		w.mu.Lock()
+		beat := w.beat
+		w.mu.Unlock()
+		if !sleep(ctx, beat) {
 			return
-		case <-t.C:
 		}
-		err := w.post(ctx, "/workers/"+w.id+"/heartbeat", epochRequest{Epoch: w.epoch}, nil)
+		id, epoch := w.identity()
+		err := w.post(ctx, "/workers/"+id+"/heartbeat", epochRequest{Epoch: epoch}, nil)
 		if errors.Is(err, ErrSuperseded) {
+			if w.changedSince(id, epoch) {
+				continue // our own re-registration superseded this beat
+			}
+			// A re-registration may still be in flight in Run's loop; give
+			// it one beat to land before declaring the fence genuine.
+			if !sleep(ctx, beat) {
+				return
+			}
+			if w.changedSince(id, epoch) {
+				continue
+			}
 			fatal <- err
 			return
 		}
 		if err != nil && ctx.Err() == nil {
-			w.opt.Logf("fleet worker %s: heartbeat: %v", w.id, err)
+			w.opt.Logf("fleet worker %s: heartbeat: %v", id, err)
 		}
 	}
 }
 
 func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
+	id, epoch := w.identity()
 	var resp LeaseResponse
-	err := w.post(ctx, "/workers/"+w.id+"/lease", epochRequest{Epoch: w.epoch}, &resp)
+	err := w.post(ctx, "/workers/"+id+"/lease", epochRequest{Epoch: epoch}, &resp)
 	return resp, err
 }
 
@@ -224,9 +272,10 @@ func (w *Worker) runChunk(ctx context.Context, lease LeaseResponse) error {
 	if err != nil {
 		return err
 	}
+	id, epoch := w.identity()
 	var resp resultsResponse
-	err = w.post(ctx, "/workers/"+w.id+"/results", resultsRequest{
-		Epoch: w.epoch,
+	err = w.post(ctx, "/workers/"+id+"/results", resultsRequest{
+		Epoch: epoch,
 		Sweep: lease.Sweep,
 		Chunk: lease.Chunk,
 		Rows:  rows,
@@ -235,10 +284,10 @@ func (w *Worker) runChunk(ctx context.Context, lease LeaseResponse) error {
 		return err
 	}
 	if !resp.Accepted {
-		w.opt.Logf("fleet worker %s: chunk %d/%d rejected: %s", w.id, lease.Sweep, lease.Chunk, resp.Reason)
+		w.opt.Logf("fleet worker %s: chunk %d/%d rejected: %s", id, lease.Sweep, lease.Chunk, resp.Reason)
 		return nil
 	}
-	w.opt.Logf("fleet worker %s: chunk %d/%d merged (%d rows)", w.id, lease.Sweep, lease.Chunk, len(rows))
+	w.opt.Logf("fleet worker %s: chunk %d/%d merged (%d rows)", id, lease.Sweep, lease.Chunk, len(rows))
 	return nil
 }
 
