@@ -132,3 +132,27 @@ func PatternSearch(space *Space, obj SearchObjective, budget int, seed int64) Se
 func AnnealSearch(space *Space, obj SearchObjective, budget int, seed int64) SearchResult {
 	return search.Anneal(space, obj, budget, seed)
 }
+
+// The pluggable search layer (DESIGN.md §16): every searcher — the GA,
+// the TPE Bayesian optimizer, and the ablations above — behind one
+// interface and a name-keyed registry. Options.Searcher on the tuner
+// routes the pipeline's search stage through any of them; nil keeps the
+// paper's GA byte-identically.
+type (
+	// Searcher is the pluggable search-stage contract.
+	Searcher = search.Searcher
+	// SearcherOptions carries a Searcher.Search call's budget and wiring.
+	SearcherOptions = search.Options
+	// SearcherRegistry is an immutable name-keyed set of searchers.
+	SearcherRegistry = search.Registry
+)
+
+// DefaultSearchers returns the registry of every built-in searcher
+// ("ga", "tpe", "random", "rrs", "pattern", "anneal").
+func DefaultSearchers() *SearcherRegistry { return search.Default() }
+
+// TPESearch runs the from-scratch Tree-structured Parzen Estimator at
+// the given candidate budget.
+func TPESearch(space *Space, obj SearchObjective, budget int, seed int64) SearchResult {
+	return (&search.TPE{}).Search(space, obj, search.Options{Budget: budget, Seed: seed})
+}

@@ -27,9 +27,10 @@ import (
 //	dac client models [-name ts]
 //	dac client predict -name ts -workload TS -size 30
 //	dac client backends
+//	dac client searchers
 func cmdClient(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("client: usage: dac client <submit|status|jobs|cancel|models|predict|backends> [flags]")
+		return fmt.Errorf("client: usage: dac client <submit|status|jobs|cancel|models|predict|backends|searchers> [flags]")
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
@@ -47,6 +48,8 @@ func cmdClient(args []string) error {
 		return clientPredict(rest)
 	case "backends":
 		return clientGet(rest, func(string) string { return "/backends" })
+	case "searchers":
+		return clientGet(rest, func(string) string { return "/searchers" })
 	default:
 		return fmt.Errorf("client: unknown subcommand %q", sub)
 	}
@@ -138,6 +141,7 @@ func clientSubmit(args []string) error {
 	seed := fs.Int64("seed", 0, "random seed (0 = daemon default)")
 	modelName := fs.String("model", "", "registry model name")
 	backend := fs.String("backend", "", "model backend (hm|rf|rs|ann|svm)")
+	searcher := fs.String("searcher", "", "configuration searcher (ga|tpe|random|rrs|pattern|anneal)")
 	fromJob := fs.Int64("from-job", 0, "finished collect job feeding a train job")
 	warmFrom := fs.String("warm-from", "", "registered model to warm-start from")
 	extraTrees := fs.Int("extra-trees", 0, "warm-start boosting budget")
@@ -169,6 +173,7 @@ func clientSubmit(args []string) error {
 			Seed:          *seed,
 			Model:         *modelName,
 			Backend:       *backend,
+			Searcher:      *searcher,
 			FromJob:       *fromJob,
 			WarmFrom:      *warmFrom,
 			ExtraTrees:    *extraTrees,

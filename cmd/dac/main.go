@@ -48,6 +48,7 @@ import (
 	"repro/internal/hm"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/sparksim"
 	"repro/internal/workloads"
 )
@@ -95,8 +96,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dac <collect|train|search|tune|show|compare|importance|bench|serve|worker|client> [flags]
   dac collect -workload TS -n 2000 -out ts.csv
   dac train   -in ts.csv -out ts.model          # fit HM on collected data
-  dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf]
-  dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1] [-model hm|rf|rs|ann|svm]
+  dac search  -model ts.model -workload TS -size 30 [-out spark-dac.conf] [-searcher tpe]
+  dac tune    -workload TS -size 30 [-ntrain 2000] [-seed 1] [-model hm|rf|rs|ann|svm] [-searcher ga|tpe|random|rrs|pattern|anneal]
   dac tune    -workload TS -size 30 -online [-screen 200] [-topk 10] [-iterations 8] [-iter-batch 32]
   dac show    -workload TS
   dac compare -workload TS [-ntrain 2000]
@@ -208,6 +209,24 @@ func selectBackend(t *core.Tuner, name string, reg *obs.Registry) error {
 	return nil
 }
 
+// selectSearcher validates -searcher and, for non-default choices,
+// routes the tuner's searching stage through that searcher. The ga
+// default keeps the tuner's built-in GA path — output stays
+// byte-identical to a build without the searcher layer.
+func selectSearcher(t *core.Tuner, name string, reg *obs.Registry) error {
+	s, err := search.Default().Lookup(name)
+	if err != nil {
+		return err
+	}
+	if name == "ga" {
+		return nil
+	}
+	t.Opt.Searcher = s
+	reg.Counter("search.searcher." + name).Inc()
+	fmt.Printf("searcher: %s\n", name)
+	return nil
+}
+
 func cmdCollect(args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ExitOnError)
 	abbr := fs.String("workload", "TS", "workload abbreviation (PR, KM, BA, NW, WC, TS)")
@@ -258,6 +277,7 @@ func cmdTune(args []string) error {
 	ntrain := fs.Int("ntrain", 2000, "training vectors to collect")
 	seed := fs.Int64("seed", 1, "random seed")
 	backendName := fs.String("model", "hm", "model backend (hm|rf|rs|ann|svm)")
+	searcherName := fs.String("searcher", "ga", "configuration searcher (ga|tpe|random|rrs|pattern|anneal)")
 	online := fs.Bool("online", false, "online importance-screened tuning: screen, then iterate measure→refit→search")
 	screen := fs.Int("screen", 0, "online: screening sample count (0 = default 200)")
 	topk := fs.Int("topk", 0, "online: parameters kept tunable after screening (0 = default 10)")
@@ -284,6 +304,9 @@ func cmdTune(args []string) error {
 	reg := of.registry()
 	t := newTuner(w, *ntrain, *seed, reg)
 	if err := selectBackend(t, *backendName, reg); err != nil {
+		return err
+	}
+	if err := selectSearcher(t, *searcherName, reg); err != nil {
 		return err
 	}
 	lo := w.InputMB(w.Sizes[0]) * 0.8
@@ -491,6 +514,7 @@ func cmdSearch(args []string) error {
 	size := fs.Float64("size", 0, "target datasize in workload units")
 	out := fs.String("out", "", "write the configuration as a properties file")
 	seed := fs.Int64("seed", 1, "random seed")
+	searcherName := fs.String("searcher", "ga", "configuration searcher (ga|tpe|random|rrs|pattern|anneal)")
 	of := addObsFlags(fs)
 	pf := addProfFlags(fs)
 	fs.Parse(args)
@@ -521,6 +545,9 @@ func cmdSearch(args []string) error {
 	}
 	reg := of.registry()
 	t := newTuner(w, 1, *seed, reg) // executor unused by Search
+	if err := selectSearcher(t, *searcherName, reg); err != nil {
+		return err
+	}
 	cfg, pred, gaRes, _, err := t.Search(m, w.InputMB(units), nil)
 	if err != nil {
 		return err

@@ -37,6 +37,7 @@ func cmdServe(args []string) error {
 	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "fleet: lease/liveness horizon past a worker's last heartbeat")
 	chunkRows := fs.Int("chunk-rows", 64, "fleet: sweep rows per leased chunk")
 	authToken := fs.String("auth-token", os.Getenv("DAC_TOKEN"), "shared secret required on mutating endpoints; empty runs open (default $DAC_TOKEN)")
+	rateLimit := fs.Float64("rate-limit", 0, "max mutating requests/sec per bearer token, 429 past the burst (0 = unlimited)")
 	gcKeepVersions := fs.Int("gc-keep-versions", 0, "prune each registry model to its newest N versions, on startup and after every registration (0 = keep all)")
 	fs.Parse(args)
 
@@ -65,6 +66,9 @@ func cmdServe(args []string) error {
 	if *gcKeepVersions < 0 {
 		return fmt.Errorf("serve: -gc-keep-versions must not be negative, got %d", *gcKeepVersions)
 	}
+	if *rateLimit < 0 {
+		return fmt.Errorf("serve: -rate-limit must not be negative, got %g", *rateLimit)
+	}
 	keep := *keepVersions
 	if keep == 0 {
 		keep = -1 // the library's "keep none"; 0 would select its default
@@ -87,6 +91,7 @@ func cmdServe(args []string) error {
 		},
 		AuthToken:      *authToken,
 		GCKeepVersions: *gcKeepVersions,
+		RateLimit:      *rateLimit,
 	})
 	if err != nil {
 		return err

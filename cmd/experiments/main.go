@@ -8,6 +8,7 @@
 //	experiments -fig 12a        # one figure (2, 3, 7, 8, 9, 10, 11, 12a, 12b, 13, 14)
 //	experiments -fig ext        # the §2.1 KV-store generality extension
 //	experiments -fig online     # online importance-screened tuning vs full DAC
+//	experiments -fig searchers  # searcher head-to-head at equal budget (GA vs TPE vs ablations)
 //	experiments -fig fleet      # distributed collect throughput at 1/2/4 workers
 //	experiments -table 2        # one table (1, 2, 3)
 package main
@@ -171,6 +172,12 @@ func main() {
 	if *all || strings.EqualFold(*fig, "online") {
 		run("Analysis: online importance-screened tuning vs full DAC", func() {
 			fmt.Print(experiments.RenderOnline(experiments.OnlineVsDAC(sc, []string{"TS", "WC", "PR"})))
+		})
+	}
+
+	if *all || strings.EqualFold(*fig, "searchers") {
+		run("Analysis: searcher head-to-head at equal budget (GA vs TPE vs ablations)", func() {
+			fmt.Print(experiments.RenderSearchers(experiments.Searchers(sc, []string{"TS", "WC", "PR"})))
 		})
 	}
 

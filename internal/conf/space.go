@@ -91,6 +91,20 @@ func (s *Space) Random(rng *rand.Rand) Config {
 	return Config{space: s, vals: v}
 }
 
+// SampleInto fills dst with a uniformly random legal value per
+// parameter, in parameter order — the exact draw stream of Random,
+// without the Config allocation. Hot samplers (TPE's startup phase, the
+// batch candidate generators) call it in a loop with one reused buffer.
+// It panics if len(dst) != Len.
+func (s *Space) SampleInto(dst []float64, rng *rand.Rand) {
+	if len(dst) != len(s.params) {
+		panic(fmt.Sprintf("conf: SampleInto dst length %d, want %d", len(dst), len(s.params)))
+	}
+	for i := range s.params {
+		dst[i] = s.params[i].Random(rng)
+	}
+}
+
 // FromVector builds a Config from an encoded vector, clamping every
 // component to its legal range. The vector length must equal Len.
 func (s *Space) FromVector(vec []float64) (Config, error) {

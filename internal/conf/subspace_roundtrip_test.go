@@ -1,0 +1,92 @@
+package conf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSampleIntoMatchesRandomStream pins the allocation-free sampler to
+// Random's exact draw stream: the same rng state must yield the same
+// vector bit for bit, so hot paths can switch to SampleInto without
+// perturbing any seeded trajectory.
+func TestSampleIntoMatchesRandomStream(t *testing.T) {
+	s := StandardSpace()
+	r1 := rand.New(rand.NewSource(9))
+	r2 := rand.New(rand.NewSource(9))
+	dst := make([]float64, s.Len())
+	for round := 0; round < 5; round++ {
+		want := s.Random(r1).Vector()
+		s.SampleInto(dst, r2)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("round %d: gene %d = %v, Random drew %v", round, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSampleIntoRejectsWrongLength(t *testing.T) {
+	s := StandardSpace()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SampleInto accepted a short buffer")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "SampleInto") {
+			t.Fatalf("panic = %v, want a SampleInto length message", r)
+		}
+	}()
+	s.SampleInto(make([]float64, s.Len()-1), rand.New(rand.NewSource(1)))
+}
+
+// TestSubSpaceProjectVectorRoundTrip pins the projection identity the
+// subspace searchers rely on: projecting a legal full-space vector into
+// the subspace and expanding it back must reproduce the tunable
+// coordinates bit-identically and pin every frozen coordinate to the
+// base configuration.
+func TestSubSpaceProjectVectorRoundTrip(t *testing.T) {
+	full := StandardSpace()
+	base := full.Default()
+	names := full.Names()[:7]
+	ss, err := NewSubSpace(full, base, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunable := make(map[string]bool, len(names))
+	for _, n := range names {
+		tunable[n] = true
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		v := full.Random(rng).Vector()
+		sub, err := ss.ProjectVector(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub) != ss.Tunable.Len() {
+			t.Fatalf("projected length %d, want %d", len(sub), ss.Tunable.Len())
+		}
+		back, err := ss.ExpandVector(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < full.Len(); i++ {
+			name := full.Param(i).Name
+			if tunable[name] {
+				if back.At(i) != v[i] {
+					t.Errorf("round %d: tunable %s = %v after round-trip, want %v",
+						round, name, back.At(i), v[i])
+				}
+			} else if back.At(i) != base.At(i) {
+				t.Errorf("round %d: frozen %s = %v, want base %v",
+					round, name, back.At(i), base.At(i))
+			}
+		}
+	}
+
+	if _, err := ss.ProjectVector(make([]float64, full.Len()-1)); err == nil {
+		t.Error("ProjectVector accepted a short vector")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/rf"
+	"repro/internal/search"
 )
 
 // UncertainModel is a performance model that can report how unsure it is
@@ -90,6 +91,16 @@ type Options struct {
 	BackendTrain model.TrainOpts
 	// GA configures the searcher.
 	GA ga.Options
+	// Searcher, when non-nil, replaces the GA searching stage: the tuner
+	// calls Searcher.Search with the candidate budget the GA options
+	// imply (PopSize×(Generations+1), so every searcher considers as
+	// many configurations as the paper's GA would), the same derived
+	// seed, the same training-set population seeds, and the same batch
+	// objective and genome cache. Nil keeps the paper's GA path,
+	// including its exact seed trajectory — default-path output is
+	// byte-identical with or without the searcher layer present
+	// (mirroring what Backend does for the modeling stage).
+	Searcher search.Searcher
 	// Parallelism bounds concurrent executions while collecting
 	// (0 = GOMAXPROCS). The simulated cluster cost is unaffected.
 	Parallelism int
@@ -400,7 +411,12 @@ func (t *Tuner) search(m model.Model, dsizeMB float64, seedConfs [][]float64) (c
 		gaOpt.BatchObj = batchObj
 	}
 	start := time.Now()
-	res := ga.Minimize(t.Space, obj, seedConfs, gaOpt)
+	var res ga.Result
+	if opt.Searcher != nil {
+		res = runSearcher(opt.Searcher, t.Space, obj, seedConfs, gaOpt)
+	} else {
+		res = ga.Minimize(t.Space, obj, seedConfs, gaOpt)
+	}
 	elapsed := time.Since(start).Seconds()
 	cfg, err := t.Space.FromVector(res.Best)
 	if err != nil {
@@ -493,6 +509,36 @@ func (t *Tuner) tuneCollected(root *obs.Span, set *dataset.Set, ovC Overhead, ta
 		}
 	}
 	return out, nil
+}
+
+// runSearcher routes a search through a pluggable Searcher with the
+// candidate budget and wiring the GA options imply, and converts the
+// outcome back to the GA result shape the pipeline reports (Converged
+// recomputed with ga's 0.5%-of-final-best rule over the searcher's
+// round history).
+func runSearcher(s search.Searcher, space *conf.Space, obj ga.Objective, init [][]float64, gaOpt ga.Options) ga.Result {
+	sres := s.Search(space, search.Objective(obj), search.Options{
+		Budget:   search.GABudget(gaOpt),
+		Seed:     gaOpt.Seed,
+		Init:     init,
+		BatchObj: gaOpt.BatchObj,
+		Workers:  gaOpt.Workers,
+		Cache:    gaOpt.Cache,
+		Obs:      gaOpt.Obs,
+	})
+	res := ga.Result{
+		Best:        sres.Best,
+		BestFitness: sres.BestFitness,
+		History:     sres.History,
+		Evaluations: sres.Evaluations,
+	}
+	for g, v := range res.History {
+		if v <= res.BestFitness*1.005+1e-12 {
+			res.Converged = g + 1
+			break
+		}
+	}
+	return res
 }
 
 // seedConfsFrom extracts up to n configuration vectors from the training

@@ -578,7 +578,12 @@ func (t *Tuner) searchSubspace(m model.Model, ss *conf.SubSpace, set *dataset.Se
 		return m.Predict(x)
 	}
 	start := time.Now()
-	res := ga.Minimize(ss.Tunable, obj, subspaceSeeds(ss, set), gaOpt)
+	var res ga.Result
+	if opt.Searcher != nil {
+		res = runSearcher(opt.Searcher, ss.Tunable, obj, subspaceSeeds(ss, set), gaOpt)
+	} else {
+		res = ga.Minimize(ss.Tunable, obj, subspaceSeeds(ss, set), gaOpt)
+	}
 	elapsed := time.Since(start).Seconds()
 	if res.BestFitness >= guardPenalty {
 		return onlineSearch{}, fmt.Errorf("core: the safety guard rejected every candidate in the screened subspace")

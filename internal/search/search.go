@@ -1,8 +1,11 @@
-// Package search provides the alternative configuration searchers the
-// paper considers and rejects in §3.3 — recursive random search [56] and
-// pattern search [46] — plus plain random sampling. They exist so the
-// ablation benchmarks can demonstrate GA's robustness against the local
-// optima of the configuration space.
+// Package search is the pluggable configuration-search layer. It
+// defines the Searcher interface and name-keyed Registry every layer
+// (core, CLI, daemon, experiments) selects searchers through, and
+// provides the implementations: the alternative searchers the paper
+// considers and rejects in §3.3 — recursive random search [56] and
+// pattern search [46] — plus plain random sampling, simulated
+// annealing, the paper's GA (adapted from internal/ga), and a
+// from-scratch TPE Bayesian optimizer.
 package search
 
 import (
@@ -27,6 +30,10 @@ type Result struct {
 	Best        []float64
 	BestFitness float64
 	Evaluations int
+	// History records the best fitness after each round (generation,
+	// batch) for searchers that proceed in rounds; nil for the
+	// single-sweep searchers.
+	History []float64
 }
 
 // CountEvals wraps obj so every evaluation increments the named counter

@@ -24,6 +24,7 @@ import (
 	"repro/internal/hm"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/sparksim"
 	"repro/internal/workloads"
 )
@@ -85,6 +86,11 @@ type JobSpec struct {
 	// (hm|rf|rs|ann|svm); default hm, the paper's model. Warm-start is
 	// only accepted when the backend implements model.Resumer.
 	Backend string `json:"backend,omitempty"`
+	// Searcher selects which registered searcher search/tune/tune_online
+	// jobs minimize the model with (ga|tpe|random|rrs|pattern|anneal);
+	// default ga, the paper's searcher — the default path is
+	// byte-identical to the CLI's.
+	Searcher string `json:"searcher,omitempty"`
 	// FromJob is the finished collect (or tune) job whose CSV feeds a
 	// train job.
 	FromJob int64 `json:"from_job,omitempty"`
@@ -417,6 +423,11 @@ func (m *Manager) validateSpec(spec JobSpec) error {
 			}
 		}
 	}
+	if spec.Searcher != "" {
+		if _, err := search.Default().Lookup(spec.Searcher); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -667,6 +678,14 @@ func (spec JobSpec) backend() string {
 	return spec.Backend
 }
 
+// searcher resolves the spec's searcher name, defaulting to ga.
+func (spec JobSpec) searcher() string {
+	if spec.Searcher == "" {
+		return "ga"
+	}
+	return spec.Searcher
+}
+
 // trainOpts maps the spec's budget knobs onto the cross-backend form.
 // HMTrees doubles as the generic tree-count override.
 func (m *Manager) trainOpts(spec JobSpec) model.TrainOpts {
@@ -710,6 +729,16 @@ func (m *Manager) tunerFor(w *workloads.Workload, spec JobSpec) *core.Tuner {
 		if err == nil { // unknown names were rejected at Submit
 			opt.Backend = b
 			opt.BackendTrain = model.TrainOpts{Quick: spec.Quick, Trees: spec.HMTrees}
+		}
+	}
+	if name := spec.searcher(); name != "ga" {
+		// Route the searching stage through the selected searcher; the ga
+		// default keeps the tuner's built-in GA path (bit-identical to
+		// the CLI). The seed slot (Seed+2) and training-set population
+		// seeds are shared by every searcher.
+		s, err := search.Default().Lookup(name)
+		if err == nil { // unknown names were rejected at Submit
+			opt.Searcher = s
 		}
 	}
 	return &core.Tuner{

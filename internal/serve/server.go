@@ -13,6 +13,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ import (
 //	GET  /models/{name}             every version's metadata
 //	POST /models/{name}/predict     predict a config's time  → {"predicted_sec": s}
 //	GET  /backends                  model backends + capabilities
+//	GET  /searchers                 registered searcher names
 //	GET  /metrics                   obs registry as JSON
 //	GET  /healthz                   liveness
 type Server struct {
@@ -44,10 +46,14 @@ type Server struct {
 	// authToken, when non-empty, gates every mutating endpoint behind a
 	// constant-time Bearer-token check.
 	authToken string
+	// limiter, when non-nil, throttles mutating requests per bearer
+	// token (ratelimit.go); breaches answer 429.
+	limiter *tokenLimiter
 
 	predicts       *obs.Counter
 	predictLatency *obs.Histogram
 	authDenied     *obs.Counter
+	authThrottled  *obs.Counter
 }
 
 // ServerOptions configure NewServerOpts beyond the data directory.
@@ -68,6 +74,11 @@ type ServerOptions struct {
 	// GCKeepVersions, when > 0, prunes each model to its newest N
 	// versions — on startup and after every registration.
 	GCKeepVersions int
+	// RateLimit, when > 0, caps mutating requests per second per bearer
+	// token (burst = max(RateLimit, 1)); requests past the cap answer
+	// HTTP 429 and count on "serve.auth.throttled". Zero runs
+	// unthrottled.
+	RateLimit float64
 }
 
 // FleetOptions configure the daemon's sweep coordinator.
@@ -105,6 +116,10 @@ func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
 		predicts:       reg.Counter("serve.predicts"),
 		predictLatency: reg.Histogram("serve.predict.latency", obs.DefaultLatencyBounds),
 		authDenied:     reg.Counter("serve.auth.denied"),
+		authThrottled:  reg.Counter("serve.auth.throttled"),
+	}
+	if opt.RateLimit > 0 {
+		s.limiter = newTokenLimiter(opt.RateLimit)
 	}
 	if opt.GCKeepVersions > 0 {
 		mgr.Models().EnableGC(opt.GCKeepVersions, reg.Counter("serve.registry.gc.pruned"))
@@ -138,6 +153,7 @@ func NewServerOpts(dataDir string, opt ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("GET /models/{name}", s.handleGetModel)
 	s.mux.HandleFunc("POST /models/{name}/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /backends", s.handleBackends)
+	s.mux.HandleFunc("GET /searchers", s.handleSearchers)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -149,15 +165,22 @@ func (s *Server) Manager() *Manager { return s.manager }
 // Fleet exposes the sweep coordinator (nil unless FleetOptions.Enabled).
 func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
 
-// requireAuth wraps a mutating handler with the shared-secret check. A
-// daemon started without -auth-token runs open (the historical
-// behavior); with one, requests must carry it as a Bearer token. The
-// comparison is constant-time so the token can't be guessed
-// byte-by-byte through response timing.
+// requireAuth wraps a mutating handler with the per-token rate limit
+// and the shared-secret check, in that order: the limiter keys on the
+// raw Bearer token as sent, so it throttles bad-token floods before
+// they reach the auth compare. A daemon started without -auth-token
+// runs open (the historical behavior); with one, requests must carry it
+// as a Bearer token. The comparison is constant-time so the token can't
+// be guessed byte-by-byte through response timing.
 func (s *Server) requireAuth(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if s.limiter != nil && !s.limiter.allow(tok, time.Now()) {
+			s.authThrottled.Inc()
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded for this token"))
+			return
+		}
 		if s.authToken != "" {
-			tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 			if subtle.ConstantTimeCompare([]byte(tok), []byte(s.authToken)) != 1 {
 				s.authDenied.Inc()
 				writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid auth token"))
@@ -382,6 +405,13 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
+}
+
+func (s *Server) handleSearchers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"searchers": search.Default().Names(),
+		"default":   "ga",
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
